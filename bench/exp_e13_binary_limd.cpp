@@ -1,0 +1,138 @@
+// E13 -- §4's analysis of linear-increase multiplicative-decrease under
+// BINARY aggregate feedback (the original DECbit / Chiu-Jain setting).
+//
+// The paper: "the asymptotic behavior is not a steady state but rather a
+// periodic oscillation. In this setting, the linear-increase
+// multiplicative-decrease algorithm yields long-term averages that are both
+// TSI and guaranteed fair. However, the period of oscillation grows
+// linearly with the server rate."
+//
+// We run f = (1-b) eta - beta b r with b = 1{Q_tot >= C*} at a single
+// gateway and measure, as a function of the server rate mu:
+//   * the attractor is a limit cycle (never a fixed point),
+//   * the cycle period grows ~linearly with mu,
+//   * the long-term average rates scale with mu (TSI in the mean), and
+//   * connections with different initial rates end with equal averages
+//     (fair in the mean).
+//
+// Exit code 0 iff all four hold.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <numeric>
+
+#include "core/ffc.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace ffc;
+using core::FeedbackStyle;
+using core::FlowControlModel;
+using report::fmt;
+using report::fmt_bool;
+using report::TextTable;
+
+struct CycleStats {
+  bool oscillates = false;       ///< decrease events keep firing forever
+  double mean_period = 0.0;      ///< mean steps between decrease events
+  std::vector<double> average;   ///< long-term mean rate per connection
+  double amplitude = 0.0;        ///< post-transient max-min of r_0
+};
+
+// The binary-feedback sawtooth is near- but not exactly periodic (the
+// additive grid and the halving generically never line up), so instead of
+// exact cycle detection we measure the physical quantity §4 talks about:
+// the interval between multiplicative-decrease events (congestion-bit
+// firings).
+CycleStats measure_cycle(const FlowControlModel& model,
+                         std::vector<double> r0) {
+  const std::size_t transient = 5000;
+  const std::size_t window = 20000;
+  std::vector<double> r = std::move(r0);
+  for (std::size_t t = 0; t < transient; ++t) r = model.step(r);
+
+  CycleStats stats;
+  const std::size_t n = r.size();
+  stats.average.assign(n, 0.0);
+  double lo = r[0], hi = r[0];
+  std::size_t decreases = 0;
+  for (std::size_t t = 0; t < window; ++t) {
+    const auto state = model.observe(r);
+    if (state.combined_signals[0] >= 0.5) ++decreases;
+    for (std::size_t i = 0; i < n; ++i) stats.average[i] += r[i];
+    lo = std::min(lo, r[0]);
+    hi = std::max(hi, r[0]);
+    r = model.step(r, state);
+  }
+  for (double& x : stats.average) x /= static_cast<double>(window);
+  stats.amplitude = hi - lo;
+  stats.oscillates = decreases >= 10 && stats.amplitude > 1e-6;
+  if (decreases > 0) {
+    stats.mean_period =
+        static_cast<double>(window) / static_cast<double>(decreases);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== E13: LIMD under binary feedback (§4, Chiu-Jain setting) "
+               "==\n"
+            << "f = (1-b)*0.01 - 0.5*b*r, b = 1{Q_tot >= 1}, N = 2\n\n";
+  bool ok = true;
+
+  TextTable table({"mu", "attractor", "period", "period/mu", "avg r_0",
+                   "avg r_1", "avg/mu", "fair avgs?"});
+  table.set_title("Sweep of the server rate (same algorithm, same "
+                  "parameters)");
+  double base_period_per_mu = -1.0;
+  double base_avg_per_mu = -1.0;
+  for (double mu : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    FlowControlModel binary_model(
+        network::single_bottleneck(2, mu),
+        std::make_shared<queueing::Fifo>(),
+        std::make_shared<core::BinarySignal>(1.0),
+        FeedbackStyle::Aggregate,
+        std::make_shared<core::RateLimd>(0.01, 0.5));
+
+    // Deliberately uneven start: fairness of the averages is the claim.
+    const auto stats =
+        measure_cycle(binary_model, {0.05 * mu, 0.25 * mu});
+    ok = ok && stats.oscillates;
+    const double avg_total =
+        std::accumulate(stats.average.begin(), stats.average.end(), 0.0);
+    const double period_per_mu = stats.mean_period / mu;
+    const bool fair_avgs =
+        std::fabs(stats.average[0] - stats.average[1]) <
+        0.02 * avg_total;
+    ok = ok && fair_avgs;
+    if (base_period_per_mu < 0.0) {
+      base_period_per_mu = period_per_mu;
+      base_avg_per_mu = avg_total / mu;
+    } else {
+      // Linear growth of the period and TSI of the averages, within 25%.
+      ok = ok && std::fabs(period_per_mu / base_period_per_mu - 1.0) < 0.25;
+      ok = ok && std::fabs((avg_total / mu) / base_avg_per_mu - 1.0) < 0.1;
+    }
+    table.add_row({fmt(mu, 0),
+                   stats.oscillates ? "sawtooth oscillation" : "other",
+                   fmt(stats.mean_period, 1), fmt(period_per_mu, 2),
+                   fmt(stats.average[0], 4), fmt(stats.average[1], 4),
+                   fmt(avg_total / mu, 4), fmt_bool(fair_avgs)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: the binary-feedback sawtooth never settles; its "
+               "period scales ~linearly\nwith mu (constant period/mu "
+               "column), while the long-term AVERAGE throughput is\nboth "
+               "TSI (constant avg/mu) and fair (equal averages from uneven "
+               "starts) -- §4's\ncharacterization of the original DECbit "
+               "design.\n";
+
+  std::cout << "\nE13 (binary-feedback LIMD) reproduced: "
+            << (ok ? "YES" : "NO") << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,143 @@
+// E1 -- Theorem 1: time-scale invariance.
+//
+// A feedback flow control is TSI iff its rate adjuster has a unique steady
+// signal b_ss. We demonstrate both directions numerically:
+//   (a) the TSI adjuster eta(beta - b): steady-state rates scale exactly
+//       linearly when every server rate is scaled by c, across six orders of
+//       magnitude, and are untouched by latency scaling;
+//   (b) the non-TSI adjusters (1-b)eta - beta*b*r (rate LIMD) and
+//       (1-b)eta/d - beta*b*r (window LIMD): the steady state fails to
+//       scale, and the window variant is additionally latency-sensitive.
+//
+// Exit code 0 iff (a) scales linearly, (b) does not.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/ffc.hpp"
+#include "report/table.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace ffc;
+using core::FeedbackStyle;
+using core::FixedPointOptions;
+using core::FlowControlModel;
+using report::fmt;
+using report::fmt_sci;
+using report::TextTable;
+
+FixedPointOptions damped() {
+  FixedPointOptions opts;
+  opts.damping = 0.3;
+  opts.max_iterations = 200000;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== E1: Theorem 1 -- time-scale invariance ==\n\n";
+  bool ok = true;
+
+  // A random-ish multi-gateway network exercises the full model.
+  stats::Xoshiro256 rng(20260705);
+  network::RandomTopologyParams params;
+  params.num_gateways = 4;
+  params.num_connections = 6;
+  params.latency_max = 0.5;
+  const network::Topology topo = network::random_topology(rng, params);
+  std::cout << "network: " << topo.summary() << "\n\n";
+
+  // ---- (a) TSI adjuster: rates scale with server speed. -----------------
+  FlowControlModel tsi_model(
+      topo, std::make_shared<queueing::FairShare>(),
+      std::make_shared<core::RationalSignal>(), FeedbackStyle::Individual,
+      std::make_shared<core::AdditiveTsi>(0.05, 0.5));
+  const auto base = core::fair_steady_state(tsi_model);
+
+  TextTable scale_table({"scale c", "max |r_ss(c mu) / (c r_ss(mu)) - 1|",
+                         "steady?"});
+  scale_table.set_title(
+      "TSI adjuster f = eta(beta - b): steady state under server scaling");
+  for (double c : {1e-2, 1e-1, 1.0, 1e1, 1e3, 1e4}) {
+    auto scaled = tsi_model.with_topology(topo.scaled_rates(c));
+    const auto r = core::fair_steady_state(scaled);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      worst = std::max(worst, std::fabs(r[i] / (c * base[i]) - 1.0));
+    }
+    const bool steady = core::is_steady_state(scaled, r, 1e-7);
+    ok = ok && worst < 1e-9 && steady;
+    scale_table.add_row({fmt_sci(c, 0), fmt_sci(worst, 2),
+                         report::fmt_bool(steady)});
+  }
+  scale_table.print(std::cout);
+
+  TextTable lat_table({"latency scale", "max |r - r_base|"});
+  lat_table.set_title("\nTSI adjuster: steady state under latency scaling");
+  for (double c : {0.0, 1.0, 10.0, 1000.0}) {
+    auto stretched = tsi_model.with_topology(topo.scaled_latencies(c));
+    const auto r = core::fair_steady_state(stretched);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      worst = std::max(worst, std::fabs(r[i] - base[i]));
+    }
+    ok = ok && worst < 1e-9;
+    lat_table.add_row({fmt(c, 1), fmt_sci(worst, 2)});
+  }
+  lat_table.print(std::cout);
+
+  // ---- (b) non-TSI adjusters on a single gateway. ------------------------
+  const auto single = network::single_bottleneck(1, 1.0, 0.1);
+  TextTable non_tsi({"adjuster", "r_ss(mu=1)", "r_ss(mu=100)",
+                     "ratio (100 if TSI)"});
+  non_tsi.set_title("\nNon-TSI adjusters: steady state does NOT scale");
+
+  for (int which = 0; which < 2; ++which) {
+    std::shared_ptr<const core::RateAdjustment> adj;
+    if (which == 0) {
+      adj = std::make_shared<core::RateLimd>(1.0, 1.0);
+    } else {
+      adj = std::make_shared<core::WindowLimd>(1.0, 1.0);
+    }
+    FlowControlModel model(single, std::make_shared<queueing::Fifo>(),
+                           std::make_shared<core::RationalSignal>(),
+                           FeedbackStyle::Aggregate, adj);
+    const auto slow = core::solve_fixed_point(model, {0.1}, damped());
+    auto fast_model = model.with_topology(single.scaled_rates(100.0));
+    const auto fast = core::solve_fixed_point(fast_model, {0.1}, damped());
+    const double ratio = fast.rates[0] / slow.rates[0];
+    ok = ok && slow.converged && fast.converged &&
+         std::fabs(ratio - 100.0) > 10.0;
+    non_tsi.add_row({std::string(adj->name()), fmt(slow.rates[0], 5),
+                     fmt(fast.rates[0], 5), fmt(ratio, 2)});
+  }
+  non_tsi.print(std::cout);
+
+  // Window LIMD latency sensitivity.
+  FlowControlModel window_model(single, std::make_shared<queueing::Fifo>(),
+                                std::make_shared<core::RationalSignal>(),
+                                FeedbackStyle::Aggregate,
+                                std::make_shared<core::WindowLimd>(1.0, 1.0));
+  TextTable lat_sens({"latency", "r_ss (window LIMD)"});
+  lat_sens.set_title(
+      "\nWindow LIMD f = (1-b)eta/d - beta*b*r: latency directly cuts "
+      "throughput");
+  double last_rate = -1.0;
+  bool decreasing = true;
+  for (double latency_scale : {1.0, 10.0, 100.0}) {
+    auto m = window_model.with_topology(single.scaled_latencies(latency_scale));
+    const auto r = core::solve_fixed_point(m, {0.1}, damped());
+    if (last_rate >= 0.0 && r.rates[0] >= last_rate) decreasing = false;
+    last_rate = r.rates[0];
+    lat_sens.add_row({fmt(0.1 * latency_scale, 1), fmt(r.rates[0], 5)});
+  }
+  ok = ok && decreasing;
+  lat_sens.print(std::cout);
+
+  std::cout << "\nTheorem 1 reproduced: " << (ok ? "YES" : "NO") << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

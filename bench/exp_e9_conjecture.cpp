@@ -1,0 +1,114 @@
+// E9 -- the paper's §3.3 Conjecture: a GUARANTEED unilaterally stable TSI
+// feedback flow control (aggregate or individual, any discipline) is always
+// systemically stable. The paper's example of such an algorithm is
+// f = eta r (beta - b) with eta < 2 and B(C) = C/(1+C).
+//
+// The paper leaves the conjecture open. We search for counterexamples:
+// random topologies x {aggregate, individual} x {FIFO, FairShare} x eta.
+// At each converged steady state we confirm the two-sided unilateral
+// multipliers are inside the unit circle (the "guarantee" holding on this
+// instance) and then test systemic stability dynamically with small
+// perturbations.
+//
+// Exit code 0 iff no counterexample is found (supporting evidence, not a
+// proof -- exactly the status the paper leaves the conjecture in).
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/ffc.hpp"
+#include "report/table.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace ffc;
+using core::FeedbackStyle;
+using core::FlowControlModel;
+using report::fmt;
+using report::fmt_bool;
+using report::TextTable;
+
+}  // namespace
+
+int main() {
+  std::cout << "== E9: searching for counterexamples to the §3.3 "
+               "conjecture ==\n"
+            << "f = eta r (beta - b), eta < 2 (guaranteed unilaterally "
+               "stable), B(C) = C/(1+C)\n\n";
+  bool ok = true;
+  stats::Xoshiro256 rng(190990);
+
+  TextTable table({"trial", "net", "style", "discipline", "eta",
+                   "unilateral?", "returns?", "counterexample?"});
+  int analyzed = 0, counterexamples = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    network::RandomTopologyParams params;
+    params.num_gateways = 2 + rng.uniform_index(3);
+    params.num_connections = 3 + rng.uniform_index(5);
+    const auto topo = network::random_topology(rng, params);
+    const double eta = rng.uniform(0.1, 1.9);
+    const FeedbackStyle style = rng.bernoulli(0.5)
+                                    ? FeedbackStyle::Aggregate
+                                    : FeedbackStyle::Individual;
+    std::shared_ptr<const queueing::ServiceDiscipline> disc;
+    if (rng.bernoulli(0.5)) {
+      disc = std::make_shared<queueing::Fifo>();
+    } else {
+      disc = std::make_shared<queueing::FairShare>();
+    }
+    FlowControlModel model(topo, disc,
+                           std::make_shared<core::RationalSignal>(), style,
+                           std::make_shared<core::MultiplicativeTsi>(eta,
+                                                                     0.5));
+    core::FixedPointOptions opts;
+    opts.damping = 0.2;
+    opts.max_iterations = 200000;
+    const auto ss = core::solve_fixed_point(
+        model, core::fair_steady_state(model.topology(), 0.5), opts);
+    if (!ss.converged) continue;
+    // Degenerate zero rates break the multiplicative adjuster's relevance.
+    bool positive = true;
+    for (double r : ss.rates) positive = positive && r > 1e-9;
+    if (!positive) continue;
+    ++analyzed;
+
+    const auto uni = core::unilateral_stability(model, ss.rates);
+
+    bool returns = true;
+    for (int probe = 0; probe < 3 && returns; ++probe) {
+      std::vector<double> r0 = ss.rates;
+      for (double& x : r0) {
+        x = std::max(0.0, x * (1.0 + rng.uniform(-0.004, 0.004)));
+      }
+      const auto orbit = core::run_dynamics(model, r0);
+      returns = orbit.kind == core::OrbitKind::Converged;
+      // Aggregate steady states live on a manifold; "returns" then means
+      // settling at SOME steady state, which Converged already captures.
+      if (style == FeedbackStyle::Individual) {
+        for (std::size_t i = 0; i < r0.size() && returns; ++i) {
+          returns = std::fabs(orbit.final_state[i] - ss.rates[i]) < 1e-4;
+        }
+      }
+    }
+    const bool counterexample = uni.stable && !returns;
+    counterexamples += counterexample;
+    ok = ok && !counterexample;
+    table.add_row({std::to_string(trial), topo.summary(),
+                   style == FeedbackStyle::Aggregate ? "aggregate"
+                                                     : "individual",
+                   std::string(disc->name()), fmt(eta, 2),
+                   fmt_bool(uni.stable), fmt_bool(returns),
+                   fmt_bool(counterexample)});
+  }
+  table.print(std::cout);
+  std::cout << "\nanalyzed " << analyzed << " steady states, found "
+            << counterexamples << " counterexamples\n"
+            << "(The conjecture remains open; this is supporting evidence, "
+               "as in the paper.)\n";
+
+  std::cout << "\nE9 (no counterexample to the conjecture): "
+            << (ok && analyzed >= 10 ? "YES" : "NO") << "\n";
+  return ok && analyzed >= 10 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,93 @@
+// TAB1 -- Reproduces Table 1 of the paper: the Fair Share service
+// discipline's priority decomposition for four connections with increasing
+// rates, plus the resulting queue occupancies (which Table 1's construction
+// implies but the paper does not tabulate).
+//
+// Exit code 0 iff the decomposition matches the paper's pattern.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "queueing/fair_share.hpp"
+#include "queueing/priority.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using ffc::queueing::FairShare;
+using ffc::report::fmt;
+using ffc::report::TextTable;
+
+}  // namespace
+
+int main() {
+  std::cout << "== TAB1: The Fair Share service discipline (paper Table 1) "
+               "==\n\n";
+  // The paper's example uses four abstract rates r1 < r2 < r3 < r4; we give
+  // them concrete values that keep the gateway underloaded at mu = 1.
+  const std::vector<double> rates{0.05, 0.15, 0.25, 0.35};
+  const double mu = 1.0;
+
+  const auto decomposition = FairShare::decompose(rates);
+
+  TextTable table({"connection", "A", "B", "C", "D", "sum=r_i"});
+  table.set_title(
+      "Per-connection rate in each FS priority class (A = highest)\n"
+      "expected pattern: row i = [r1, r2-r1, ..., r_i-r_{i-1}, 0, ...]");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    double sum = 0.0;
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      row.push_back(decomposition.share[i][j] > 0.0
+                        ? fmt(decomposition.share[i][j], 2)
+                        : "-");
+      sum += decomposition.share[i][j];
+    }
+    row.push_back(fmt(sum, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  TextTable totals({"class", "total rate", "expected (N-j+1)(r_j-r_{j-1})"});
+  totals.set_title("\nPriority-class totals");
+  bool ok = true;
+  double prev = 0.0;
+  for (std::size_t j = 0; j < rates.size(); ++j) {
+    const double expected =
+        static_cast<double>(rates.size() - j) * (rates[j] - prev);
+    prev = rates[j];
+    ok = ok && std::abs(decomposition.class_totals[j] - expected) < 1e-12;
+    totals.add_row({std::string(1, static_cast<char>('A' + j)),
+                    fmt(decomposition.class_totals[j], 2), fmt(expected, 2)});
+  }
+  totals.print(std::cout);
+
+  // The occupancies Table 1's construction yields via the preemptive
+  // priority law.
+  FairShare fs;
+  const auto q = fs.queue_lengths(rates, mu);
+  TextTable queues({"connection", "r_i", "sigma_i", "Q_i"});
+  queues.set_title("\nResulting mean queues (mu = 1)");
+  const auto sigma = FairShare::cumulative_loads(rates, mu);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    queues.add_row({std::to_string(i + 1), fmt(rates[i], 2),
+                    fmt(sigma[i], 3), fmt(q[i], 4)});
+  }
+  queues.print(std::cout);
+
+  // Verify the paper's structural pattern: connection i contributes
+  // r_j - r_{j-1} to class j for j <= i, nothing above.
+  prev = 0.0;
+  for (std::size_t j = 0; j < rates.size() && ok; ++j) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const double expected = i >= j ? rates[j] - prev : 0.0;
+      if (std::abs(decomposition.share[i][j] - expected) > 1e-12) ok = false;
+    }
+    prev = rates[j];
+  }
+
+  std::cout << "\nTable 1 pattern reproduced: " << (ok ? "YES" : "NO")
+            << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,56 @@
+// Microbenchmarks: discrete-event simulator throughput (events/second),
+// which bounds how much simulated time the validation experiments can cover.
+#include <benchmark/benchmark.h>
+
+#include "network/builders.hpp"
+#include "sim/network_sim.hpp"
+
+namespace {
+
+using ffc::sim::NetworkSimulator;
+using ffc::sim::SimDiscipline;
+
+void run_network(benchmark::State& state, SimDiscipline kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    NetworkSimulator sim(ffc::network::single_bottleneck(n, 1.0), kind, 5);
+    sim.set_rates(std::vector<double>(n, 0.8 / static_cast<double>(n)));
+    state.ResumeTiming();
+    sim.run_for(2000.0);
+    events += sim.events_processed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_FifoGateway(benchmark::State& state) {
+  run_network(state, SimDiscipline::Fifo);
+}
+BENCHMARK(BM_FifoGateway)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_FairShareGateway(benchmark::State& state) {
+  run_network(state, SimDiscipline::FairShare);
+}
+BENCHMARK(BM_FairShareGateway)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ParkingLotNetwork(benchmark::State& state) {
+  const auto hops = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    NetworkSimulator sim(ffc::network::parking_lot(hops, 2, 1.0),
+                         SimDiscipline::FairShare, 9);
+    const std::size_t n = sim.topology().num_connections();
+    sim.set_rates(std::vector<double>(n, 0.2));
+    state.ResumeTiming();
+    sim.run_for(1000.0);
+    events += sim.events_processed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ParkingLotNetwork)->Arg(2)->Arg(5);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Microbenchmarks: the flow-control model's hot paths -- one synchronous
+// step, a full observation, and the numerical Jacobian.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/ffc.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace ffc;
+
+core::FlowControlModel make_model(std::size_t n_connections,
+                                  core::FeedbackStyle style, bool fair_share) {
+  stats::Xoshiro256 rng(5);
+  network::RandomTopologyParams params;
+  params.num_gateways = std::max<std::size_t>(2, n_connections / 3);
+  params.num_connections = n_connections;
+  auto topo = network::random_topology(rng, params);
+  std::shared_ptr<const queueing::ServiceDiscipline> disc;
+  if (fair_share) {
+    disc = std::make_shared<queueing::FairShare>();
+  } else {
+    disc = std::make_shared<queueing::Fifo>();
+  }
+  return core::FlowControlModel(std::move(topo), std::move(disc),
+                                std::make_shared<core::RationalSignal>(),
+                                style,
+                                std::make_shared<core::AdditiveTsi>(0.1,
+                                                                    0.5));
+}
+
+std::vector<double> make_rates(std::size_t n) {
+  stats::Xoshiro256 rng(9);
+  std::vector<double> r(n);
+  for (double& x : r) x = rng.uniform(0.0, 0.1);
+  return r;
+}
+
+void BM_ModelStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto model = make_model(n, core::FeedbackStyle::Individual, true);
+  auto rates = make_rates(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.step(rates));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ModelStep)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ModelObserve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto model = make_model(n, core::FeedbackStyle::Individual, true);
+  auto rates = make_rates(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.observe(rates));
+  }
+}
+BENCHMARK(BM_ModelObserve)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Jacobian(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto model = make_model(n, core::FeedbackStyle::Individual, true);
+  auto rates = make_rates(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::jacobian(model, rates));
+  }
+}
+BENCHMARK(BM_Jacobian)->Arg(4)->Arg(16);
+
+void BM_FixedPointSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto model = make_model(n, core::FeedbackStyle::Individual, true);
+  core::FixedPointOptions opts;
+  opts.damping = 0.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_fixed_point(model, make_rates(n), opts));
+  }
+}
+BENCHMARK(BM_FixedPointSolve)->Arg(4)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,50 @@
+// Microbenchmarks: analytic queue-length evaluation (the inner loop of
+// every model step) for FIFO and Fair Share across gateway fan-in.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "queueing/fair_share.hpp"
+#include "queueing/fifo.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+std::vector<double> make_rates(std::size_t n) {
+  ffc::stats::Xoshiro256 rng(7);
+  std::vector<double> r(n);
+  for (double& x : r) x = rng.uniform(0.0, 0.9 / static_cast<double>(n));
+  return r;
+}
+
+void BM_FifoQueueLengths(benchmark::State& state) {
+  const auto rates = make_rates(static_cast<std::size_t>(state.range(0)));
+  ffc::queueing::Fifo fifo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fifo.queue_lengths(rates, 1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FifoQueueLengths)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FairShareQueueLengths(benchmark::State& state) {
+  const auto rates = make_rates(static_cast<std::size_t>(state.range(0)));
+  ffc::queueing::FairShare fs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.queue_lengths(rates, 1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FairShareQueueLengths)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FairShareDecompose(benchmark::State& state) {
+  const auto rates = make_rates(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ffc::queueing::FairShare::decompose(rates));
+  }
+}
+BENCHMARK(BM_FairShareDecompose)->Arg(8)->Arg(64);
+
+}  // namespace

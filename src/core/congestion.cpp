@@ -1,0 +1,47 @@
+#include "core/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ffc::core {
+
+namespace {
+
+void check_queues(const std::vector<double>& queues) {
+  for (double q : queues) {
+    if (std::isnan(q) || q < 0.0) {
+      throw std::invalid_argument("congestion: queues must be >= 0");
+    }
+  }
+}
+
+}  // namespace
+
+double aggregate_congestion(const std::vector<double>& queues) {
+  check_queues(queues);
+  double total = 0.0;
+  for (double q : queues) total += q;
+  return total;
+}
+
+std::vector<double> individual_congestion(const std::vector<double>& queues) {
+  check_queues(queues);
+  std::vector<double> c(queues.size(), 0.0);
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    double sum = 0.0;
+    for (double qk : queues) sum += std::min(qk, queues[i]);
+    c[i] = sum;
+  }
+  return c;
+}
+
+std::vector<double> congestion_measures(FeedbackStyle style,
+                                        const std::vector<double>& queues) {
+  if (style == FeedbackStyle::Aggregate) {
+    return std::vector<double>(queues.size(), aggregate_congestion(queues));
+  }
+  return individual_congestion(queues);
+}
+
+}  // namespace ffc::core

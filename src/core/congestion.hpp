@@ -1,0 +1,38 @@
+// Congestion measures at a gateway (§2.3.1).
+//
+// Given the per-connection mean queue lengths Q^a at gateway a:
+//   * aggregate:  C^a   = sum_k Q^a_k   (same measure for every connection;
+//                 discipline-independent by work conservation)
+//   * individual: C^a_i = sum_k min(Q^a_k, Q^a_i)   (reflects connection i's
+//                 own contribution; never charges i for queues larger than
+//                 its own)
+// The gateway then signals b^a_i = B(C^a_i or C^a), and each source combines
+// signals across its path bottleneck-style: b_i = max_a b^a_i.
+#pragma once
+
+#include <vector>
+
+namespace ffc::core {
+
+/// Which congestion measure gateways feed into the signalling function.
+enum class FeedbackStyle {
+  Aggregate,
+  Individual,
+};
+
+/// C^a = sum of queue lengths. Infinite entries propagate to +infinity.
+double aggregate_congestion(const std::vector<double>& queues);
+
+/// C^a_i = sum_k min(Q_k, Q_i) for every connection i at this gateway.
+/// C_i is infinite iff Q_i itself is infinite; a connection with a finite
+/// queue sees a finite measure even when other queues have diverged
+/// (min(inf, Q_i) = Q_i) -- which is exactly how Fair Share protects small
+/// senders at an overloaded gateway.
+std::vector<double> individual_congestion(const std::vector<double>& queues);
+
+/// Dispatches on `style`: returns the per-connection congestion measures
+/// (aggregate replicates C^a for every connection).
+std::vector<double> congestion_measures(FeedbackStyle style,
+                                        const std::vector<double>& queues);
+
+}  // namespace ffc::core

@@ -1,0 +1,141 @@
+#include "core/design_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/dynamics.hpp"
+#include "core/fairness.hpp"
+#include "core/robustness.hpp"
+#include "core/signal.hpp"
+#include "core/stability.hpp"
+#include "core/steady_state.hpp"
+#include "network/builders.hpp"
+#include "stats/rng.hpp"
+
+namespace ffc::core {
+
+namespace {
+
+bool measure_tsi(FeedbackStyle style,
+                 const std::shared_ptr<const queueing::ServiceDiscipline>& d,
+                 const DesignEvalOptions& options) {
+  const auto topo =
+      network::single_bottleneck(options.num_connections, 1.0);
+  FlowControlModel model(topo, d, std::make_shared<RationalSignal>(), style,
+                         std::make_shared<AdditiveTsi>(options.eta,
+                                                       options.beta));
+  FixedPointOptions fp;
+  fp.damping = 0.4;
+  fp.max_iterations = 500000;  // the additive transient does not scale
+  std::vector<double> r0(options.num_connections);
+  for (std::size_t i = 0; i < r0.size(); ++i) {
+    r0[i] = 0.02 * static_cast<double>(i + 1);
+  }
+  const auto slow = solve_fixed_point(model, r0, fp);
+  auto fast_model = model.with_topology(topo.scaled_rates(100.0));
+  std::vector<double> r0_fast = r0;
+  for (double& x : r0_fast) x *= 100.0;
+  const auto fast = solve_fixed_point(fast_model, r0_fast, fp);
+  if (!slow.converged || !fast.converged) return false;
+  for (std::size_t i = 0; i < r0.size(); ++i) {
+    if (std::fabs(fast.rates[i] - 100.0 * slow.rates[i]) >
+        1e-5 * (1.0 + 100.0 * slow.rates[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool measure_fair(FeedbackStyle style,
+                  const std::shared_ptr<const queueing::ServiceDiscipline>& d,
+                  const DesignEvalOptions& options) {
+  FlowControlModel model(
+      network::single_bottleneck(options.num_connections, 1.0), d,
+      std::make_shared<RationalSignal>(), style,
+      std::make_shared<AdditiveTsi>(options.eta, options.beta));
+  stats::Xoshiro256 rng(options.seed);
+  FixedPointOptions fp;
+  fp.damping = 0.4;
+  for (std::size_t trial = 0; trial < options.fairness_trials; ++trial) {
+    std::vector<double> r0(options.num_connections);
+    for (double& x : r0) x = rng.uniform(0.0, 0.2);
+    const auto result = solve_fixed_point(model, r0, fp);
+    if (!result.converged) return false;
+    if (!check_fairness(model, result.rates, 1e-3).fair) return false;
+  }
+  return true;
+}
+
+bool measure_robust(
+    FeedbackStyle style,
+    const std::shared_ptr<const queueing::ServiceDiscipline>& d,
+    const DesignEvalOptions& options) {
+  const std::size_t n = options.num_connections;
+  std::vector<std::shared_ptr<const RateAdjustment>> mixed;
+  for (std::size_t i = 0; i < n; ++i) {
+    mixed.push_back(std::make_shared<AdditiveTsi>(
+        options.eta, i < n / 2 ? options.beta_timid : options.beta_greedy));
+  }
+  FlowControlModel model(network::single_bottleneck(n, 1.0), d,
+                         std::make_shared<RationalSignal>(), style, mixed);
+  FixedPointOptions fp;
+  fp.damping = 0.4;
+  fp.max_iterations = 200000;
+  const auto result =
+      solve_fixed_point(model, std::vector<double>(n, 0.02), fp);
+  if (!result.converged) return false;
+  return check_robustness(model, result.rates, 1e-3).robust;
+}
+
+bool measure_implication(
+    FeedbackStyle style,
+    const std::shared_ptr<const queueing::ServiceDiscipline>& d,
+    const DesignEvalOptions& options) {
+  const std::size_t n = options.stability_connections;
+  for (double eta = 0.1; eta <= options.eta_grid_max + 1e-9; eta += 0.1) {
+    FlowControlModel model(network::single_bottleneck(n, 1.0), d,
+                           std::make_shared<RationalSignal>(), style,
+                           std::make_shared<AdditiveTsi>(eta, options.beta));
+    const std::vector<double> ss(
+        n, options.beta / static_cast<double>(n));
+    const auto uni = unilateral_stability(model, ss);
+    if (!uni.stable) continue;
+    std::vector<double> r0 = ss;
+    for (std::size_t i = 0; i < n; ++i) {
+      r0[i] *= 1.002 + (i % 2 ? 0.001 : -0.001);
+    }
+    const auto orbit = run_dynamics(model, r0);
+    bool returns = orbit.kind == OrbitKind::Converged;
+    if (style == FeedbackStyle::Individual) {
+      for (std::size_t i = 0; i < n && returns; ++i) {
+        returns = std::fabs(orbit.final_state[i] - ss[i]) < 1e-5;
+      }
+    }
+    if (!returns) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DesignGoals evaluate_design(
+    FeedbackStyle style,
+    std::shared_ptr<const queueing::ServiceDiscipline> discipline,
+    const DesignEvalOptions& options) {
+  if (!discipline) {
+    throw std::invalid_argument("evaluate_design: null discipline");
+  }
+  if (options.num_connections < 2 || options.stability_connections < 2) {
+    throw std::invalid_argument("evaluate_design: need >= 2 connections");
+  }
+  DesignGoals goals;
+  goals.tsi = measure_tsi(style, discipline, options);
+  goals.guaranteed_fair = measure_fair(style, discipline, options);
+  goals.robust = measure_robust(style, discipline, options);
+  goals.unilateral_implies_systemic =
+      measure_implication(style, discipline, options);
+  return goals;
+}
+
+}  // namespace ffc::core

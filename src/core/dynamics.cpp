@@ -1,0 +1,151 @@
+#include "core/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ffc::core {
+
+namespace {
+
+constexpr double kDivergenceBound = 1e12;
+
+bool state_close(const std::vector<double>& a, const std::vector<double>& b,
+                 double tol) {
+  double scale = 1.0;
+  for (double x : a) scale = std::max(scale, std::fabs(x));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol * scale) return false;
+  }
+  return true;
+}
+
+bool out_of_bounds(const std::vector<double>& r) {
+  for (double x : r) {
+    if (!std::isfinite(x) || std::fabs(x) > kDivergenceBound) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TrajectoryResult run_dynamics(const FlowControlModel& model,
+                              std::vector<double> initial,
+                              const TrajectoryOptions& options) {
+  if (options.window == 0 || options.max_period == 0) {
+    throw std::invalid_argument("run_dynamics: window/max_period must be > 0");
+  }
+  TrajectoryResult result;
+  std::vector<double> r = std::move(initial);
+  if (options.record_trajectory) result.trajectory.push_back(r);
+
+  for (std::size_t t = 0; t < options.transient; ++t) {
+    r = model.step(r);
+    if (options.record_trajectory) result.trajectory.push_back(r);
+    if (out_of_bounds(r)) {
+      result.kind = OrbitKind::Diverged;
+      result.final_state = std::move(r);
+      return result;
+    }
+  }
+
+  // Collect the analysis window.
+  std::vector<std::vector<double>> window;
+  window.reserve(options.window);
+  window.push_back(r);
+  for (std::size_t t = 1; t < options.window; ++t) {
+    r = model.step(r);
+    if (options.record_trajectory) result.trajectory.push_back(r);
+    if (out_of_bounds(r)) {
+      result.kind = OrbitKind::Diverged;
+      result.final_state = std::move(r);
+      return result;
+    }
+    window.push_back(r);
+  }
+  result.final_state = r;
+
+  const std::size_t n = r.size();
+  result.envelope_min.assign(n, std::numeric_limits<double>::infinity());
+  result.envelope_max.assign(n, -std::numeric_limits<double>::infinity());
+  for (const auto& state : window) {
+    for (std::size_t i = 0; i < n; ++i) {
+      result.envelope_min[i] = std::min(result.envelope_min[i], state[i]);
+      result.envelope_max[i] = std::max(result.envelope_max[i], state[i]);
+    }
+  }
+
+  // Period detection: smallest p such that the window is p-periodic.
+  const std::size_t max_p = std::min(options.max_period, window.size() / 2);
+  for (std::size_t p = 1; p <= max_p; ++p) {
+    bool periodic = true;
+    for (std::size_t t = 0; t + p < window.size(); ++t) {
+      if (!state_close(window[t], window[t + p], options.tolerance)) {
+        periodic = false;
+        break;
+      }
+    }
+    if (periodic) {
+      result.period = p;
+      result.kind = p == 1 ? OrbitKind::Converged : OrbitKind::Periodic;
+      return result;
+    }
+  }
+  result.kind = OrbitKind::Irregular;
+  return result;
+}
+
+double largest_lyapunov_exponent(const FlowControlModel& model,
+                                 std::vector<double> initial,
+                                 std::size_t transient, std::size_t steps,
+                                 double separation) {
+  if (!(separation > 0.0)) {
+    throw std::invalid_argument("lyapunov: separation must be > 0");
+  }
+  if (steps == 0) {
+    throw std::invalid_argument("lyapunov: need at least one step");
+  }
+  std::vector<double> r = std::move(initial);
+  for (std::size_t t = 0; t < transient; ++t) r = model.step(r);
+
+  const std::size_t n = r.size();
+  std::vector<double> shadow = r;
+  // Perturb along a generic direction, keeping rates nonnegative.
+  for (std::size_t i = 0; i < n; ++i) {
+    shadow[i] = std::max(0.0, shadow[i] + separation / std::sqrt(
+                                              static_cast<double>(n)));
+  }
+
+  double log_sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t t = 0; t < steps; ++t) {
+    r = model.step(r);
+    shadow = model.step(shadow);
+    double dist = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = shadow[i] - r[i];
+      dist += d * d;
+    }
+    dist = std::sqrt(dist);
+    if (dist == 0.0) {
+      // Trajectories merged exactly (strong contraction / truncation at 0):
+      // re-seed the separation and count a floor contribution.
+      log_sum += std::log(1e-16);
+      ++counted;
+    } else {
+      log_sum += std::log(dist / separation);
+      ++counted;
+    }
+    // Renormalize the shadow back to `separation` from the reference.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = dist == 0.0 ? separation / std::sqrt(
+                                         static_cast<double>(n))
+                                   : (shadow[i] - r[i]) * separation / dist;
+      shadow[i] = std::max(0.0, r[i] + d);
+    }
+  }
+  return counted == 0 ? 0.0 : log_sum / static_cast<double>(counted);
+}
+
+}  // namespace ffc::core

@@ -1,0 +1,75 @@
+#include "core/fairness.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ffc::core {
+
+double jain_index(const std::vector<double>& rates) {
+  if (rates.empty()) {
+    throw std::invalid_argument("jain_index: empty rate vector");
+  }
+  double sum = 0.0, sum_sq = 0.0;
+  for (double r : rates) {
+    if (std::isnan(r) || r < 0.0) {
+      throw std::invalid_argument("jain_index: rates must be >= 0");
+    }
+    sum += r;
+    sum_sq += r * r;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero allocation is (vacuously) even
+  return sum * sum / (static_cast<double>(rates.size()) * sum_sq);
+}
+
+FairnessReport check_fairness(const FlowControlModel& model,
+                              const std::vector<double>& rates, double tol) {
+  const NetworkState state = model.observe(rates);
+  FairnessReport report;
+  report.jain_index = jain_index(rates);
+  const auto& topo = model.topology();
+
+  // The criterion's "bottleneck" is the gateway that actually CONSTRAINS a
+  // connection, which the individual congestion measure C^a_i identifies
+  // (under an aggregate measure every saturated gateway on the path looks
+  // identical, even ones where the connection holds a tiny share). So the
+  // bottleneck relation is always derived from individual measures here,
+  // regardless of the feedback style the model signals with.
+  std::vector<std::vector<double>> individual(topo.num_gateways());
+  for (network::GatewayId a = 0; a < topo.num_gateways(); ++a) {
+    individual[a] = individual_congestion(state.gateways[a].queues);
+  }
+
+  for (network::ConnectionId i = 0; i < topo.num_connections(); ++i) {
+    // Find this connection's most-constraining congestion along its path.
+    double worst = -1.0;
+    for (network::GatewayId a : topo.path(i)) {
+      const auto& members = topo.connections_through(a);
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        if (members[k] == i) {
+          worst = std::max(worst, individual[a][k]);
+        }
+      }
+    }
+    for (network::GatewayId a : topo.path(i)) {
+      const auto& members = topo.connections_through(a);
+      std::size_t self = members.size();
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        if (members[k] == i) self = k;
+      }
+      const double here = individual[a][self];
+      const bool is_bottleneck =
+          std::isinf(worst) ? std::isinf(here)
+                            : here >= worst - tol * (1.0 + std::fabs(worst));
+      if (!is_bottleneck) continue;
+      for (network::ConnectionId j : members) {
+        if (rates[j] > rates[i] * (1.0 + tol) + tol * topo.gateway(a).mu) {
+          report.violations.push_back({i, a, j, rates[j] - rates[i]});
+        }
+      }
+    }
+  }
+  report.fair = report.violations.empty();
+  return report;
+}
+
+}  // namespace ffc::core

@@ -1,0 +1,46 @@
+// Fairness of throughput allocations (§2.4.2, Theorems 2 & 3).
+//
+// The paper's fairness criterion: a steady state is fair if, at each
+// bottleneck gateway a of each connection i, no connection through a sends
+// faster than i. (Connections bottlenecked at the same gateway therefore
+// send at equal rates; pass-through connections bottlenecked elsewhere may
+// only send slower.)
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace ffc::core {
+
+/// Per-violation detail for diagnostics.
+struct FairnessViolation {
+  network::ConnectionId bottlenecked;  ///< connection i
+  network::GatewayId gateway;          ///< one of i's bottlenecks
+  network::ConnectionId faster;        ///< connection j with r_j > r_i
+  double excess;                       ///< r_j - r_i
+};
+
+/// Result of a fairness check.
+struct FairnessReport {
+  bool fair = false;
+  std::vector<FairnessViolation> violations;
+  double jain_index = 0.0;  ///< Jain's fairness index of the rate vector
+};
+
+/// Checks the paper's fairness criterion at `rates` (which should be a
+/// steady state; the check itself does not require it). The bottleneck
+/// relation is derived from the INDIVIDUAL congestion measures regardless of
+/// the model's feedback style -- "bottleneck" means the gateway that
+/// constrains the connection, which an aggregate measure cannot identify.
+/// `tol` is the relative slack allowed before r_j counts as "greater than"
+/// r_i.
+FairnessReport check_fairness(const FlowControlModel& model,
+                              const std::vector<double>& rates,
+                              double tol = 1e-6);
+
+/// Jain's fairness index (sum r)^2 / (n * sum r^2); equals 1 iff all rates
+/// are equal, and k/n when k connections share equally and the rest starve.
+double jain_index(const std::vector<double>& rates);
+
+}  // namespace ffc::core

@@ -1,0 +1,183 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ffc::core {
+
+namespace {
+
+void check_rates(const std::vector<double>& rates, std::size_t expected) {
+  if (rates.size() != expected) {
+    throw std::invalid_argument("FlowControlModel: rate vector size mismatch");
+  }
+  for (double r : rates) {
+    if (std::isnan(r) || std::isinf(r) || r < 0.0) {
+      throw std::invalid_argument(
+          "FlowControlModel: rates must be finite and >= 0");
+    }
+  }
+}
+
+}  // namespace
+
+FlowControlModel::FlowControlModel(
+    network::Topology topology,
+    std::shared_ptr<const queueing::ServiceDiscipline> discipline,
+    std::shared_ptr<const SignalFunction> signal, FeedbackStyle style,
+    std::vector<std::shared_ptr<const RateAdjustment>> adjusters)
+    : topology_(std::move(topology)),
+      discipline_(std::move(discipline)),
+      signal_(std::move(signal)),
+      style_(style),
+      adjusters_(std::move(adjusters)) {
+  if (!discipline_) {
+    throw std::invalid_argument("FlowControlModel: null discipline");
+  }
+  if (!signal_) throw std::invalid_argument("FlowControlModel: null signal");
+  if (adjusters_.size() != topology_.num_connections()) {
+    throw std::invalid_argument(
+        "FlowControlModel: need one adjuster per connection");
+  }
+  for (const auto& adj : adjusters_) {
+    if (!adj) throw std::invalid_argument("FlowControlModel: null adjuster");
+  }
+}
+
+namespace {
+
+std::vector<std::shared_ptr<const RateAdjustment>> replicate_adjuster(
+    const network::Topology& topology,
+    std::shared_ptr<const RateAdjustment> adjuster) {
+  return std::vector<std::shared_ptr<const RateAdjustment>>(
+      topology.num_connections(), std::move(adjuster));
+}
+
+}  // namespace
+
+FlowControlModel::FlowControlModel(
+    network::Topology topology,
+    std::shared_ptr<const queueing::ServiceDiscipline> discipline,
+    std::shared_ptr<const SignalFunction> signal, FeedbackStyle style,
+    std::shared_ptr<const RateAdjustment> adjuster)
+    : topology_(std::move(topology)),
+      discipline_(std::move(discipline)),
+      signal_(std::move(signal)),
+      style_(style),
+      adjusters_(replicate_adjuster(topology_, std::move(adjuster))) {
+  if (!discipline_) {
+    throw std::invalid_argument("FlowControlModel: null discipline");
+  }
+  if (!signal_) throw std::invalid_argument("FlowControlModel: null signal");
+  for (const auto& adj : adjusters_) {
+    if (!adj) throw std::invalid_argument("FlowControlModel: null adjuster");
+  }
+}
+
+NetworkState FlowControlModel::observe(const std::vector<double>& rates) const {
+  check_rates(rates, topology_.num_connections());
+  NetworkState state;
+  const std::size_t num_gw = topology_.num_gateways();
+  const std::size_t num_conn = topology_.num_connections();
+  state.gateways.resize(num_gw);
+  state.combined_signals.assign(num_conn, 0.0);
+  state.bottlenecks.assign(num_conn, {});
+  state.delays.assign(num_conn, 0.0);
+
+  // Per-gateway observables.
+  std::vector<std::vector<double>> sojourns(num_gw);
+  for (network::GatewayId a = 0; a < num_gw; ++a) {
+    const auto& members = topology_.connections_through(a);
+    std::vector<double> local_rates(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      local_rates[k] = rates[members[k]];
+    }
+    const double mu = topology_.gateway(a).mu;
+    GatewayObservation& obs = state.gateways[a];
+    obs.queues = discipline_->queue_lengths(local_rates, mu);
+    obs.congestion = congestion_measures(style_, obs.queues);
+    obs.signals.resize(obs.congestion.size());
+    for (std::size_t k = 0; k < obs.congestion.size(); ++k) {
+      obs.signals[k] = (*signal_)(obs.congestion[k]);
+    }
+    sojourns[a] = discipline_->sojourn_times(local_rates, mu);
+  }
+
+  // Per-connection combination: bottleneck signal and round-trip delay.
+  for (network::ConnectionId i = 0; i < num_conn; ++i) {
+    double best = -1.0;
+    for (network::GatewayId a : topology_.path(i)) {
+      const auto& members = topology_.connections_through(a);
+      const std::size_t k = static_cast<std::size_t>(
+          std::find(members.begin(), members.end(), i) - members.begin());
+      const double b = state.gateways[a].signals[k];
+      if (b > best) best = b;
+      state.delays[i] += topology_.gateway(a).latency + sojourns[a][k];
+    }
+    state.combined_signals[i] = best;
+    // Bottlenecks: every gateway achieving the max.
+    for (network::GatewayId a : topology_.path(i)) {
+      const auto& members = topology_.connections_through(a);
+      const std::size_t k = static_cast<std::size_t>(
+          std::find(members.begin(), members.end(), i) - members.begin());
+      if (state.gateways[a].signals[k] == best) {
+        state.bottlenecks[i].push_back(a);
+      }
+    }
+  }
+  return state;
+}
+
+std::vector<double> FlowControlModel::step(
+    const std::vector<double>& rates) const {
+  return step(rates, observe(rates));
+}
+
+std::vector<double> FlowControlModel::step(const std::vector<double>& rates,
+                                           const NetworkState& state) const {
+  check_rates(rates, topology_.num_connections());
+  std::vector<double> next(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double f = (*adjusters_[i])(rates[i], state.combined_signals[i],
+                                      state.delays[i]);
+    next[i] = std::max(0.0, rates[i] + f);
+  }
+  return next;
+}
+
+double FlowControlModel::queue_of(const NetworkState& state,
+                                  network::ConnectionId i,
+                                  network::GatewayId a) const {
+  const auto& members = topology_.connections_through(a);
+  const auto it = std::find(members.begin(), members.end(), i);
+  if (it == members.end()) {
+    throw std::invalid_argument(
+        "FlowControlModel::queue_of: connection not at gateway");
+  }
+  return state.gateways.at(a).queues.at(
+      static_cast<std::size_t>(it - members.begin()));
+}
+
+bool FlowControlModel::homogeneous_tsi() const {
+  const auto first = adjusters_.front()->steady_signal();
+  if (!first) return false;
+  for (const auto& adj : adjusters_) {
+    const auto b = adj->steady_signal();
+    if (!b || *b != *first) return false;
+  }
+  return true;
+}
+
+FlowControlModel FlowControlModel::with_topology(
+    network::Topology topology) const {
+  if (topology.num_connections() != topology_.num_connections()) {
+    throw std::invalid_argument(
+        "with_topology: connection count must be preserved");
+  }
+  return FlowControlModel(std::move(topology), discipline_, signal_, style_,
+                          adjusters_);
+}
+
+}  // namespace ffc::core

@@ -1,0 +1,102 @@
+// The feedback flow-control model (§2): queues -> signals -> rate update.
+//
+// FlowControlModel binds together a topology, a gateway service discipline
+// Q(r), a signalling function B, a feedback style (aggregate/individual),
+// and one rate-adjustment algorithm per connection (heterogeneity --
+// different algorithms on different connections -- is exactly the §3.4
+// robustness setting). It evaluates the network observables at a rate vector
+// and performs the synchronous update
+//
+//   r̂_i = max(0, r_i + f_i(r_i, b_i, d_i)),   b_i = max_{a in y(i)} B(C^a_i)
+//
+// following the paper's modelling approximations: queues equilibrate
+// instantly, per-connection flows stay Poisson through the network, and
+// feedback is delay-free.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/congestion.hpp"
+#include "core/rate_adjustment.hpp"
+#include "core/signal.hpp"
+#include "network/topology.hpp"
+#include "queueing/discipline.hpp"
+
+namespace ffc::core {
+
+/// Everything a gateway "knows" at a given rate vector. Vectors are indexed
+/// in Gamma(a) order, i.e. parallel to topology.connections_through(a).
+struct GatewayObservation {
+  std::vector<double> queues;      ///< Q^a_i (may contain +infinity)
+  std::vector<double> congestion;  ///< C^a or C^a_i per connection
+  std::vector<double> signals;     ///< b^a_i = B(congestion_i)
+};
+
+/// The full network observation at a rate vector.
+struct NetworkState {
+  std::vector<GatewayObservation> gateways;       ///< indexed by gateway id
+  std::vector<double> combined_signals;           ///< b_i = max_a b^a_i
+  std::vector<std::vector<network::GatewayId>> bottlenecks;  ///< argmax set
+  std::vector<double> delays;                     ///< d_i (may be +infinity)
+};
+
+class FlowControlModel {
+ public:
+  /// Heterogeneous constructor: `adjusters` has one entry per connection.
+  FlowControlModel(
+      network::Topology topology,
+      std::shared_ptr<const queueing::ServiceDiscipline> discipline,
+      std::shared_ptr<const SignalFunction> signal, FeedbackStyle style,
+      std::vector<std::shared_ptr<const RateAdjustment>> adjusters);
+
+  /// Homogeneous convenience constructor: every source runs `adjuster`.
+  FlowControlModel(
+      network::Topology topology,
+      std::shared_ptr<const queueing::ServiceDiscipline> discipline,
+      std::shared_ptr<const SignalFunction> signal, FeedbackStyle style,
+      std::shared_ptr<const RateAdjustment> adjuster);
+
+  /// Evaluates queues, congestion measures, signals, bottlenecks, and
+  /// delays at the given rate vector (size must equal num_connections;
+  /// entries must be finite and >= 0).
+  NetworkState observe(const std::vector<double>& rates) const;
+
+  /// One synchronous update r̂ = F(r).
+  std::vector<double> step(const std::vector<double>& rates) const;
+
+  /// Same, reusing an observation already computed at `rates`.
+  std::vector<double> step(const std::vector<double>& rates,
+                           const NetworkState& state) const;
+
+  /// Q^a_i from a NetworkState; throws std::invalid_argument if connection
+  /// `i` does not traverse gateway `a`.
+  double queue_of(const NetworkState& state, network::ConnectionId i,
+                  network::GatewayId a) const;
+
+  const network::Topology& topology() const { return topology_; }
+  const queueing::ServiceDiscipline& discipline() const {
+    return *discipline_;
+  }
+  const SignalFunction& signal() const { return *signal_; }
+  FeedbackStyle style() const { return style_; }
+  const RateAdjustment& adjuster(network::ConnectionId i) const {
+    return *adjusters_.at(i);
+  }
+
+  /// True iff every connection's adjuster is TSI with the SAME b_ss.
+  bool homogeneous_tsi() const;
+
+  /// Returns a model identical to this one except for the topology, which
+  /// must have the same number of connections (used for scaling tests).
+  FlowControlModel with_topology(network::Topology topology) const;
+
+ private:
+  network::Topology topology_;
+  std::shared_ptr<const queueing::ServiceDiscipline> discipline_;
+  std::shared_ptr<const SignalFunction> signal_;
+  FeedbackStyle style_;
+  std::vector<std::shared_ptr<const RateAdjustment>> adjusters_;
+};
+
+}  // namespace ffc::core

@@ -1,0 +1,93 @@
+#include "core/rate_adjustment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ffc::core {
+
+void validate_adjustment_args(double rate, double signal, double delay) {
+  if (std::isnan(rate) || rate < 0.0) {
+    throw std::invalid_argument("RateAdjustment: rate must be >= 0");
+  }
+  if (std::isnan(signal) || signal < 0.0 || signal > 1.0) {
+    throw std::invalid_argument("RateAdjustment: signal must be in [0, 1]");
+  }
+  if (std::isnan(delay) || delay < 0.0) {
+    throw std::invalid_argument("RateAdjustment: delay must be >= 0");
+  }
+}
+
+namespace {
+
+void check_eta_beta_tsi(double eta, double beta) {
+  if (!(eta > 0.0) || std::isinf(eta)) {
+    throw std::invalid_argument("RateAdjustment: eta must be positive");
+  }
+  if (!(beta > 0.0) || !(beta < 1.0)) {
+    throw std::invalid_argument("RateAdjustment: beta must be in (0, 1)");
+  }
+}
+
+}  // namespace
+
+AdditiveTsi::AdditiveTsi(double eta, double beta) : eta_(eta), beta_(beta) {
+  check_eta_beta_tsi(eta, beta);
+}
+
+double AdditiveTsi::operator()(double rate, double signal,
+                               double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  return eta_ * (beta_ - signal);
+}
+
+MultiplicativeTsi::MultiplicativeTsi(double eta, double beta)
+    : eta_(eta), beta_(beta) {
+  check_eta_beta_tsi(eta, beta);
+}
+
+double MultiplicativeTsi::operator()(double rate, double signal,
+                                     double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  return eta_ * rate * (beta_ - signal);
+}
+
+RateLimd::RateLimd(double eta, double beta) : eta_(eta), beta_(beta) {
+  if (!(eta > 0.0) || !(beta > 0.0) || std::isinf(eta) || std::isinf(beta)) {
+    throw std::invalid_argument("RateLimd: eta, beta must be positive");
+  }
+}
+
+double RateLimd::operator()(double rate, double signal, double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  return (1.0 - signal) * eta_ - beta_ * signal * rate;
+}
+
+WindowLimd::WindowLimd(double eta, double beta) : eta_(eta), beta_(beta) {
+  if (!(eta > 0.0) || !(beta > 0.0) || std::isinf(eta) || std::isinf(beta)) {
+    throw std::invalid_argument("WindowLimd: eta, beta must be positive");
+  }
+}
+
+double WindowLimd::operator()(double rate, double signal, double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  const double increase =
+      std::isinf(delay) || delay == 0.0
+          ? (delay == 0.0 ? (1.0 - signal) * eta_ : 0.0)
+          : (1.0 - signal) * eta_ / delay;
+  return increase - beta_ * signal * rate;
+}
+
+FunctionAdjustment::FunctionAdjustment(Fn fn, std::optional<double> b_ss,
+                                       std::string name)
+    : fn_(std::move(fn)), b_ss_(b_ss), name_(std::move(name)) {
+  if (!fn_) throw std::invalid_argument("FunctionAdjustment: empty callable");
+}
+
+double FunctionAdjustment::operator()(double rate, double signal,
+                                      double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  return fn_(rate, signal, delay);
+}
+
+}  // namespace ffc::core

@@ -1,0 +1,135 @@
+// Source rate-adjustment algorithms f(r, b, d) (§2.3.2).
+//
+// At every synchronous step each source updates r̂ = max(0, r + f(r, b, d)),
+// where b is its (bottleneck-combined) congestion signal and d its average
+// round-trip delay. Theorem 1: the flow control is time-scale invariant
+// (TSI) iff there is a unique b_ss with f(r, b_ss, d) = 0 for all r, d and
+// f != 0 whenever b != b_ss.
+//
+// Families implemented:
+//   AdditiveTsi         f = eta (beta - b)          TSI, b_ss = beta
+//   MultiplicativeTsi   f = eta r (beta - b)        TSI, b_ss = beta
+//   RateLimd            f = (1-b) eta - beta b r    guaranteed fair, NOT TSI
+//                                                   (§3.2's counterexample /
+//                                                   rate-based DECbit, §4)
+//   WindowLimd          f = (1-b) eta / d - beta b r  neither TSI nor fair
+//                                                   (latency-sensitive; the
+//                                                   window-based DECbit, §4)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ffc::core {
+
+/// Interface for rate-adjustment algorithms.
+class RateAdjustment {
+ public:
+  virtual ~RateAdjustment() = default;
+
+  /// The increment f(r, b, d). Requires r >= 0, b in [0, 1], d >= 0 (d may
+  /// be +infinity when queues diverge).
+  virtual double operator()(double rate, double signal, double delay) const
+      = 0;
+
+  /// The steady-state signal b_ss if this adjuster is TSI (Theorem 1);
+  /// nullopt otherwise.
+  virtual std::optional<double> steady_signal() const { return std::nullopt; }
+
+  /// True iff the adjuster satisfies Theorem 1's TSI characterization.
+  bool is_tsi() const { return steady_signal().has_value(); }
+
+  virtual std::string_view name() const = 0;
+};
+
+/// f = eta (beta - b); rate-independent additive push toward b = beta.
+class AdditiveTsi final : public RateAdjustment {
+ public:
+  /// Requires eta > 0 and beta in (0, 1).
+  AdditiveTsi(double eta, double beta);
+  double operator()(double rate, double signal, double delay) const override;
+  std::optional<double> steady_signal() const override { return beta_; }
+  std::string_view name() const override { return "eta(beta-b)"; }
+  double eta() const { return eta_; }
+  double beta() const { return beta_; }
+
+ private:
+  double eta_;
+  double beta_;
+};
+
+/// f = eta r (beta - b); proportional adjustment. The paper's guaranteed
+/// unilaterally stable example (eta < 2). Note r = 0 is an (unreachable in
+/// practice) fixed point for any signal.
+class MultiplicativeTsi final : public RateAdjustment {
+ public:
+  /// Requires eta > 0 and beta in (0, 1).
+  MultiplicativeTsi(double eta, double beta);
+  double operator()(double rate, double signal, double delay) const override;
+  std::optional<double> steady_signal() const override { return beta_; }
+  std::string_view name() const override { return "eta*r(beta-b)"; }
+  double eta() const { return eta_; }
+  double beta() const { return beta_; }
+
+ private:
+  double eta_;
+  double beta_;
+};
+
+/// f = (1-b) eta - beta b r: linear-increase multiplicative-decrease on the
+/// RATE. Guaranteed fair (every connection sharing a bottleneck gets
+/// r = eta (1 - b*) / (beta b*)) but not TSI: the steady state does not scale
+/// with server speed.
+class RateLimd final : public RateAdjustment {
+ public:
+  /// Requires eta > 0 and beta > 0.
+  RateLimd(double eta, double beta);
+  double operator()(double rate, double signal, double delay) const override;
+  std::string_view name() const override { return "(1-b)eta-beta*b*r"; }
+  double eta() const { return eta_; }
+  double beta() const { return beta_; }
+
+ private:
+  double eta_;
+  double beta_;
+};
+
+/// f = (1-b) eta / d - beta b r: the window-interpretation of DECbit/Jacobson
+/// style linear-increase multiplicative-decrease. Latency-sensitive, hence
+/// neither TSI nor fair: longer round-trip connections get less throughput.
+class WindowLimd final : public RateAdjustment {
+ public:
+  /// Requires eta > 0 and beta > 0.
+  WindowLimd(double eta, double beta);
+  double operator()(double rate, double signal, double delay) const override;
+  std::string_view name() const override { return "(1-b)eta/d-beta*b*r"; }
+
+ private:
+  double eta_;
+  double beta_;
+};
+
+/// Adapter wrapping an arbitrary callable; `steady_signal` may be supplied
+/// when the callable satisfies Theorem 1's conditions. Used by tests to
+/// probe the theory with ad-hoc adjusters.
+class FunctionAdjustment final : public RateAdjustment {
+ public:
+  using Fn = std::function<double(double, double, double)>;
+  FunctionAdjustment(Fn fn, std::optional<double> b_ss, std::string name);
+  double operator()(double rate, double signal, double delay) const override;
+  std::optional<double> steady_signal() const override { return b_ss_; }
+  std::string_view name() const override { return name_; }
+
+ private:
+  Fn fn_;
+  std::optional<double> b_ss_;
+  std::string name_;
+};
+
+/// Validates common argument preconditions; throws std::invalid_argument.
+void validate_adjustment_args(double rate, double signal, double delay);
+
+}  // namespace ffc::core

@@ -1,0 +1,89 @@
+#include "core/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/steady_state.hpp"
+
+namespace ffc::core {
+
+std::vector<double> reservation_baseline(
+    const network::Topology& topology,
+    const std::vector<double>& rho_ss_per_connection) {
+  if (rho_ss_per_connection.size() != topology.num_connections()) {
+    throw std::invalid_argument("reservation_baseline: size mismatch");
+  }
+  std::vector<double> floor(topology.num_connections());
+  for (network::ConnectionId i = 0; i < floor.size(); ++i) {
+    const double rho = rho_ss_per_connection[i];
+    if (!(rho > 0.0) || !(rho < 1.0)) {
+      throw std::invalid_argument(
+          "reservation_baseline: rho_ss must be in (0, 1)");
+    }
+    double tightest = std::numeric_limits<double>::infinity();
+    for (network::GatewayId a : topology.path(i)) {
+      tightest = std::min(tightest,
+                          topology.gateway(a).mu /
+                              static_cast<double>(topology.fan_in(a)));
+    }
+    floor[i] = rho * tightest;
+  }
+  return floor;
+}
+
+std::vector<double> reservation_baseline(const FlowControlModel& model) {
+  const auto& topo = model.topology();
+  std::vector<double> rho(topo.num_connections());
+  for (network::ConnectionId i = 0; i < rho.size(); ++i) {
+    const auto b_ss = model.adjuster(i).steady_signal();
+    if (!b_ss) {
+      throw std::invalid_argument(
+          "reservation_baseline: adjuster is not TSI");
+    }
+    rho[i] = steady_state_utilization(model.signal(), *b_ss);
+  }
+  return reservation_baseline(topo, rho);
+}
+
+RobustnessReport check_robustness(const FlowControlModel& model,
+                                  const std::vector<double>& rates,
+                                  double tol) {
+  RobustnessReport report;
+  report.floor = reservation_baseline(model);
+  if (rates.size() != report.floor.size()) {
+    throw std::invalid_argument("check_robustness: rate size mismatch");
+  }
+  report.shortfall.resize(rates.size());
+  report.robust = true;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    report.shortfall[i] = std::max(0.0, report.floor[i] - rates[i]);
+    if (report.shortfall[i] > tol * std::max(report.floor[i], 1e-300)) {
+      report.robust = false;
+    }
+  }
+  return report;
+}
+
+double theorem5_violation(const queueing::ServiceDiscipline& discipline,
+                          const std::vector<double>& rates, double mu) {
+  const std::vector<double> q = discipline.queue_lengths(rates, mu);
+  const double n = static_cast<double>(rates.size());
+  double worst = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double slack_rate = mu - n * rates[i];
+    if (!(slack_rate > 0.0)) continue;  // condition is vacuous for this i
+    any = true;
+    const double bound = rates[i] / slack_rate;
+    const double margin =
+        std::isinf(q[i]) ? std::numeric_limits<double>::infinity()
+                         : q[i] - bound;
+    worst = std::max(worst, margin);
+  }
+  if (!any) return 0.0;
+  return worst;
+}
+
+}  // namespace ffc::core

@@ -1,0 +1,51 @@
+// Robustness in the presence of heterogeneity (§2.4.4, §3.4, Theorem 5).
+//
+// A feedback flow control is robust if every connection gets at least the
+// throughput it would receive alone in a network whose server rates are cut
+// to mu^a / N^a -- the reservation-based allocation. For a TSI adjuster with
+// steady signal b_ss targeting utilization rho_ss,i, that floor is
+//
+//   r̄_i = rho_ss,i * min_{a in y(i)} mu^a / N^a.
+//
+// Theorem 5: TSI individual feedback is robust iff the service discipline
+// satisfies Q_i(r) <= r_i / (mu - N r_i) whenever N r_i < mu. Fair Share
+// satisfies the bound; FIFO does not.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "queueing/discipline.hpp"
+
+namespace ffc::core {
+
+/// The reservation-based throughput floor r̄_i for each connection, given
+/// each connection's steady-state target utilization rho_ss,i in (0, 1).
+/// (Heterogeneous adjusters have different b_ss hence different rho_ss.)
+std::vector<double> reservation_baseline(
+    const network::Topology& topology,
+    const std::vector<double>& rho_ss_per_connection);
+
+/// Reads per-connection rho_ss from the model's TSI adjusters and its
+/// signal. Throws if any adjuster is not TSI.
+std::vector<double> reservation_baseline(const FlowControlModel& model);
+
+/// Result of checking the robustness guarantee at an allocation.
+struct RobustnessReport {
+  std::vector<double> floor;     ///< r̄_i
+  std::vector<double> shortfall; ///< max(0, r̄_i - r_i)
+  bool robust = false;           ///< all shortfalls <= tol * floor
+};
+
+/// Compares an allocation against the reservation floor.
+RobustnessReport check_robustness(const FlowControlModel& model,
+                                  const std::vector<double>& rates,
+                                  double tol = 1e-6);
+
+/// Theorem 5's single-gateway condition on the service discipline:
+/// Q_i(r) <= r_i / (mu - N r_i) for every i with N r_i < mu. Returns the
+/// worst violation margin (positive = violated) over the given rate vector.
+double theorem5_violation(const queueing::ServiceDiscipline& discipline,
+                          const std::vector<double>& rates, double mu);
+
+}  // namespace ffc::core

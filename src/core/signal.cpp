@@ -1,0 +1,109 @@
+#include "core/signal.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ffc::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_congestion(double c) {
+  if (std::isnan(c) || c < 0.0) {
+    throw std::invalid_argument("SignalFunction: congestion must be >= 0");
+  }
+}
+
+void check_signal(double b) {
+  if (std::isnan(b) || b < 0.0 || b > 1.0) {
+    throw std::invalid_argument("SignalFunction: signal must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double RationalSignal::operator()(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 1.0;
+  return congestion / (1.0 + congestion);
+}
+
+double RationalSignal::inverse(double signal) const {
+  check_signal(signal);
+  if (signal == 1.0) return kInf;
+  return signal / (1.0 - signal);
+}
+
+double QuadraticSignal::operator()(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 1.0;
+  const double ratio = congestion / (1.0 + congestion);
+  return ratio * ratio;
+}
+
+double QuadraticSignal::inverse(double signal) const {
+  check_signal(signal);
+  if (signal == 1.0) return kInf;
+  const double root = std::sqrt(signal);
+  return root / (1.0 - root);
+}
+
+ExponentialSignal::ExponentialSignal(double k) : k_(k) {
+  if (!(k > 0.0) || std::isinf(k)) {
+    throw std::invalid_argument("ExponentialSignal: k must be positive");
+  }
+}
+
+double ExponentialSignal::operator()(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 1.0;
+  return -std::expm1(-k_ * congestion);
+}
+
+double ExponentialSignal::inverse(double signal) const {
+  check_signal(signal);
+  if (signal == 1.0) return kInf;
+  return -std::log1p(-signal) / k_;
+}
+
+PowerSignal::PowerSignal(double p) : p_(p) {
+  if (!(p > 0.0) || std::isinf(p)) {
+    throw std::invalid_argument("PowerSignal: p must be positive");
+  }
+}
+
+double PowerSignal::operator()(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 1.0;
+  return std::pow(congestion / (1.0 + congestion), p_);
+}
+
+double PowerSignal::inverse(double signal) const {
+  check_signal(signal);
+  if (signal == 1.0) return kInf;
+  const double root = std::pow(signal, 1.0 / p_);
+  if (root >= 1.0) return kInf;
+  return root / (1.0 - root);
+}
+
+BinarySignal::BinarySignal(double threshold) : threshold_(threshold) {
+  if (!(threshold > 0.0) || std::isinf(threshold)) {
+    throw std::invalid_argument("BinarySignal: threshold must be positive");
+  }
+}
+
+double BinarySignal::operator()(double congestion) const {
+  check_congestion(congestion);
+  return congestion >= threshold_ ? 1.0 : 0.0;
+}
+
+double BinarySignal::inverse(double signal) const {
+  check_signal(signal);
+  if (signal == 0.0) return 0.0;
+  if (signal == 1.0) return kInf;
+  return threshold_;
+}
+
+}  // namespace ffc::core

@@ -1,0 +1,150 @@
+#include "core/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/eigen.hpp"
+
+namespace ffc::core {
+
+linalg::Matrix jacobian(const FlowControlModel& model,
+                        const std::vector<double>& rates,
+                        const JacobianOptions& options) {
+  const std::size_t n = rates.size();
+  if (n != model.topology().num_connections()) {
+    throw std::invalid_argument("jacobian: rate vector size mismatch");
+  }
+  linalg::Matrix df(n, n);
+  std::vector<double> probe = rates;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double h =
+        options.relative_step * std::max(std::fabs(rates[j]),
+                                         options.step_floor /
+                                             options.relative_step);
+    std::vector<double> f_plus, f_minus;
+    double denom = 0.0;
+    switch (options.scheme) {
+      case JacobianOptions::Scheme::Central: {
+        probe[j] = rates[j] + h;
+        f_plus = model.step(probe);
+        probe[j] = std::max(0.0, rates[j] - h);
+        f_minus = model.step(probe);
+        denom = (rates[j] + h) - probe[j];
+        probe[j] = rates[j];
+        break;
+      }
+      case JacobianOptions::Scheme::Forward: {
+        probe[j] = rates[j] + h;
+        f_plus = model.step(probe);
+        probe[j] = rates[j];
+        f_minus = model.step(probe);
+        denom = h;
+        break;
+      }
+      case JacobianOptions::Scheme::Backward: {
+        probe[j] = rates[j];
+        f_plus = model.step(probe);
+        probe[j] = std::max(0.0, rates[j] - h);
+        f_minus = model.step(probe);
+        denom = rates[j] - probe[j];
+        probe[j] = rates[j];
+        break;
+      }
+    }
+    if (denom == 0.0) {
+      throw std::invalid_argument("jacobian: degenerate step (rate pinned at 0)");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      df(i, j) = (f_plus[i] - f_minus[i]) / denom;
+    }
+  }
+  return df;
+}
+
+StabilityReport analyze_stability(const FlowControlModel& model,
+                                  const std::vector<double>& rates,
+                                  const JacobianOptions& options,
+                                  double manifold_tolerance) {
+  StabilityReport report;
+  report.jacobian = jacobian(model, rates, options);
+  const std::size_t n = rates.size();
+  report.diagonal.resize(n);
+  report.unilaterally_stable = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    report.diagonal[i] = report.jacobian(i, i);
+    if (std::fabs(report.diagonal[i]) >= 1.0) {
+      report.unilaterally_stable = false;
+    }
+  }
+
+  const linalg::EigenResult eig = linalg::eigenvalues(report.jacobian);
+  report.spectral_radius = 0.0;
+  report.reduced_spectral_radius = 0.0;
+  for (const auto& lambda : eig.values) {
+    const double mag = std::abs(lambda);
+    report.spectral_radius = std::max(report.spectral_radius, mag);
+    if (std::fabs(mag - 1.0) <= manifold_tolerance) {
+      ++report.unit_eigenvalues;
+    } else {
+      report.reduced_spectral_radius =
+          std::max(report.reduced_spectral_radius, mag);
+    }
+  }
+  report.systemically_stable = report.spectral_radius < 1.0;
+  report.stable_modulo_manifold = report.reduced_spectral_radius < 1.0;
+  return report;
+}
+
+UnilateralReport unilateral_stability(const FlowControlModel& model,
+                                      const std::vector<double>& rates,
+                                      const JacobianOptions& options) {
+  UnilateralReport report;
+  JacobianOptions fwd = options;
+  fwd.scheme = JacobianOptions::Scheme::Forward;
+  JacobianOptions bwd = options;
+  bwd.scheme = JacobianOptions::Scheme::Backward;
+  const linalg::Matrix jf = jacobian(model, rates, fwd);
+  const linalg::Matrix jb = jacobian(model, rates, bwd);
+  const std::size_t n = rates.size();
+  report.forward.resize(n);
+  report.backward.resize(n);
+  report.stable = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    report.forward[i] = jf(i, i);
+    report.backward[i] = jb(i, i);
+    if (std::fabs(report.forward[i]) >= 1.0 ||
+        std::fabs(report.backward[i]) >= 1.0) {
+      report.stable = false;
+    }
+  }
+  return report;
+}
+
+bool is_triangular_under_rate_order(const linalg::Matrix& jac,
+                                    const std::vector<double>& rates,
+                                    double tol) {
+  const std::size_t n = rates.size();
+  if (jac.rows() != n || jac.cols() != n) {
+    throw std::invalid_argument(
+        "is_triangular_under_rate_order: size mismatch");
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return rates[a] < rates[b];
+  });
+  // Lower-triangular in sorted coordinates: dF_i/dr_j == 0 whenever
+  // r_j > r_i (entry above the diagonal). Ties are exempt on both sides.
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      if (rates[order[q]] == rates[order[p]]) continue;
+      if (std::fabs(jac(order[p], order[q])) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ffc::core

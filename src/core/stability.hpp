@@ -1,0 +1,88 @@
+// Linear stability of the flow-control map (§2.4.3, §3.3, Theorem 4).
+//
+// A steady state r_ss of r̂ = F(r) is linearly stable when all eigenvalues
+// of the Jacobian DF_ij = dF_i/dr_j have magnitude < 1 (deviations along a
+// steady-state manifold -- eigenvalues at exactly 1 -- are exempt). The
+// paper contrasts
+//   * unilateral stability:  |DF_ii| < 1 for every i (each source, holding
+//     the others fixed, damps its own deviations), with
+//   * systemic stability:    spectral radius of DF < 1.
+// Theorem 4: with individual feedback and Fair Share service, DF is
+// triangular under the sort-by-rate permutation, so its eigenvalues ARE the
+// diagonal entries and unilateral stability implies systemic stability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ffc::core {
+
+/// Options for the finite-difference Jacobian.
+struct JacobianOptions {
+  double relative_step = 1e-6;  ///< h_j = relative_step * max(r_j, floor)
+  double step_floor = 1e-7;     ///< absolute floor for the step
+  /// MAX/MIN terms in b_i and C^a_i make F only piecewise-smooth; one-sided
+  /// differences probe the dynamics on the chosen side of a kink.
+  enum class Scheme { Central, Forward, Backward } scheme = Scheme::Central;
+};
+
+/// Numerical Jacobian of F at `rates`.
+linalg::Matrix jacobian(const FlowControlModel& model,
+                        const std::vector<double>& rates,
+                        const JacobianOptions& options = {});
+
+/// Full stability analysis at a (presumed) steady state.
+struct StabilityReport {
+  linalg::Matrix jacobian;            ///< DF at the analysis point
+  std::vector<double> diagonal;       ///< DF_ii
+  bool unilaterally_stable = false;   ///< all |DF_ii| < 1
+  double spectral_radius = 0.0;       ///< max |eigenvalue|
+  bool systemically_stable = false;   ///< spectral_radius < 1 - slack
+  /// Eigenvalues within `manifold_tolerance` of magnitude 1 (directions
+  /// along a steady-state manifold; §3.1 aggregate feedback).
+  std::size_t unit_eigenvalues = 0;
+  /// spectral radius over the non-unit eigenvalues only.
+  double reduced_spectral_radius = 0.0;
+  /// Systemic stability ignoring unit eigenvalues (manifold deviations need
+  /// not dissipate, per the paper's definition).
+  bool stable_modulo_manifold = false;
+};
+
+/// Analyzes linear stability of `model` at `rates`.
+/// `manifold_tolerance` decides which eigenvalues count as "exactly 1".
+StabilityReport analyze_stability(const FlowControlModel& model,
+                                  const std::vector<double>& rates,
+                                  const JacobianOptions& options = {},
+                                  double manifold_tolerance = 1e-6);
+
+/// One-sided unilateral stability analysis.
+///
+/// At a fair steady state, connections sharing a bottleneck have TIED rates,
+/// so the map F sits exactly on a MAX/MIN kink and has different one-sided
+/// derivatives: moving r_i up makes it the largest of its tie group (weak
+/// self-coupling), moving it down makes it the smallest (strong
+/// self-coupling, dC_i/dr_i ~ N g'(rho)/mu). Unilateral stability in the
+/// paper's sense -- "any small initial deviation of r_i alone dissipates" --
+/// therefore requires BOTH branch multipliers to lie inside the unit circle.
+struct UnilateralReport {
+  std::vector<double> forward;   ///< dF_i/dr_i, upward branch
+  std::vector<double> backward;  ///< dF_i/dr_i, downward branch
+  bool stable = false;           ///< all |.| < 1 on both branches
+};
+
+/// Computes both one-sided diagonal derivatives at `rates`.
+UnilateralReport unilateral_stability(const FlowControlModel& model,
+                                      const std::vector<double>& rates,
+                                      const JacobianOptions& options = {});
+
+/// True iff there is a permutation `perm` ordering the connections by
+/// increasing rate for which jacobian(perm, perm) is lower-triangular within
+/// `tol` -- the structure Theorem 4 exploits for Fair Share gateways.
+bool is_triangular_under_rate_order(const linalg::Matrix& jacobian,
+                                    const std::vector<double>& rates,
+                                    double tol = 1e-6);
+
+}  // namespace ffc::core

@@ -1,0 +1,218 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ffc::linalg {
+
+Matrix hessenberg(Matrix a) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("hessenberg: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  if (n < 3) return a;
+
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector annihilating a(k+2..n-1, k).
+    double alpha = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) alpha += a(i, k) * a(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha == 0.0) continue;
+    if (a(k + 1, k) > 0.0) alpha = -alpha;
+
+    std::vector<double> v(n, 0.0);
+    v[k + 1] = a(k + 1, k) - alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = a(i, k);
+    double vnorm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 == 0.0) continue;
+
+    // A := (I - 2vv^T/v^Tv) A
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * a(i, j);
+      s *= 2.0 / vnorm2;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, j) -= s * v[i];
+    }
+    // A := A (I - 2vv^T/v^Tv)
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = k + 1; j < n; ++j) s += a(i, j) * v[j];
+      s *= 2.0 / vnorm2;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= s * v[j];
+    }
+    // Zero out the annihilated entries explicitly (they are roundoff now).
+    a(k + 1, k) = alpha;
+    for (std::size_t i = k + 2; i < n; ++i) a(i, k) = 0.0;
+  }
+  return a;
+}
+
+namespace {
+
+using cd = std::complex<double>;
+
+/// Eigenvalue of the 2x2 complex matrix [[a,b],[c,d]] closer to d
+/// (Wilkinson shift).
+cd wilkinson_shift(cd a, cd b, cd c, cd d) {
+  const cd tr = a + d;
+  const cd det = a * d - b * c;
+  const cd disc = std::sqrt(tr * tr / 4.0 - det);
+  const cd l1 = tr / 2.0 + disc;
+  const cd l2 = tr / 2.0 - disc;
+  return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+/// One shifted-QR sweep on the active Hessenberg block rows/cols [l, m] of h
+/// (a dense complex matrix stored row-major in a flat vector of dimension n).
+void qr_sweep(std::vector<cd>& h, std::size_t n, std::size_t l, std::size_t m,
+              cd shift) {
+  // h(i,j) == h[i*n + j]
+  auto H = [&](std::size_t i, std::size_t j) -> cd& { return h[i * n + j]; };
+
+  for (std::size_t i = l; i <= m; ++i) H(i, i) -= shift;
+
+  // Left Givens rotations zeroing the subdiagonal of the shifted block.
+  // g[k] = {g00, g01, g10, g11} applied to rows k, k+1.
+  std::vector<std::array<cd, 4>> rot(m);  // indices l..m-1 used
+  for (std::size_t k = l; k < m; ++k) {
+    const cd a = H(k, k);
+    const cd b = H(k + 1, k);
+    std::array<cd, 4> g;
+    const double denom = std::hypot(std::abs(a), std::abs(b));
+    if (denom == 0.0) {
+      g = {cd(1), cd(0), cd(0), cd(1)};
+    } else {
+      g = {std::conj(a) / denom, std::conj(b) / denom, -b / denom, a / denom};
+    }
+    for (std::size_t j = k; j <= m; ++j) {
+      const cd top = H(k, j);
+      const cd bot = H(k + 1, j);
+      H(k, j) = g[0] * top + g[1] * bot;
+      H(k + 1, j) = g[2] * top + g[3] * bot;
+    }
+    rot[k] = g;
+  }
+
+  // Right multiplication by the conjugate transposes: H := R Q + shift I.
+  for (std::size_t k = l; k < m; ++k) {
+    const auto& g = rot[k];
+    const std::size_t last_row = std::min(k + 2, m);
+    for (std::size_t i = l; i <= last_row; ++i) {
+      const cd left = H(i, k);
+      const cd right = H(i, k + 1);
+      H(i, k) = left * std::conj(g[0]) + right * std::conj(g[1]);
+      H(i, k + 1) = left * std::conj(g[2]) + right * std::conj(g[3]);
+    }
+  }
+
+  for (std::size_t i = l; i <= m; ++i) H(i, i) += shift;
+}
+
+}  // namespace
+
+EigenResult eigenvalues(const Matrix& a) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("eigenvalues: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  EigenResult result;
+  if (n == 0) return result;
+
+  const Matrix hess = hessenberg(a);
+  std::vector<cd> h(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) h[i * n + j] = cd(hess(i, j));
+  }
+  auto H = [&](std::size_t i, std::size_t j) -> cd& { return h[i * n + j]; };
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  double scale = 0.0;
+  for (const cd& x : h) scale = std::max(scale, std::abs(x));
+  if (scale == 0.0) scale = 1.0;
+
+  std::size_t m = n - 1;  // last index of the active block
+  std::size_t iters_since_deflation = 0;
+  const std::size_t max_iters_per_eigenvalue = 60;
+
+  while (true) {
+    // Locate l: start of the active unreduced block ending at m.
+    std::size_t l = m;
+    while (l > 0) {
+      const double sub = std::abs(H(l, l - 1));
+      const double neighbor = std::abs(H(l - 1, l - 1)) + std::abs(H(l, l));
+      if (sub <= eps * (neighbor > 0.0 ? neighbor : scale)) {
+        H(l, l - 1) = cd(0);
+        break;
+      }
+      --l;
+    }
+
+    if (l == m) {
+      // 1x1 block deflated.
+      result.values.push_back(H(m, m));
+      iters_since_deflation = 0;
+      if (m == 0) break;
+      --m;
+      continue;
+    }
+
+    if (++iters_since_deflation > max_iters_per_eigenvalue) {
+      // Give up on full convergence; report the remaining diagonal as the
+      // best available estimates.
+      result.converged = false;
+      for (std::size_t i = 0; i <= m; ++i) result.values.push_back(H(i, i));
+      break;
+    }
+
+    cd shift = wilkinson_shift(H(m - 1, m - 1), H(m - 1, m), H(m, m - 1),
+                               H(m, m));
+    if (iters_since_deflation % 12 == 0) {
+      // Exceptional shift to break potential limit cycles.
+      shift = H(m, m) + cd(1.2 * std::abs(H(m, m - 1)), 0.7 * scale * eps);
+    }
+    qr_sweep(h, n, l, m, shift);
+  }
+
+  std::sort(result.values.begin(), result.values.end(),
+            [](const cd& x, const cd& y) { return std::abs(x) > std::abs(y); });
+  return result;
+}
+
+double spectral_radius(const Matrix& a) {
+  const EigenResult res = eigenvalues(a);
+  if (!res.converged) {
+    throw std::runtime_error("spectral_radius: QR iteration did not converge");
+  }
+  double radius = 0.0;
+  for (const auto& v : res.values) radius = std::max(radius, std::abs(v));
+  return radius;
+}
+
+double power_iteration_radius(const Matrix& a, std::size_t iterations) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("power_iteration_radius: square matrix needed");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  // Deterministic, generic start vector.
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 1.0 + 0.37 * static_cast<double>(i % 7);
+  }
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    Vector w = a.apply(v);
+    const double norm = norm2(w);
+    if (norm == 0.0) return 0.0;
+    for (double& x : w) x /= norm;
+    lambda = norm2(a.apply(w));
+    v = std::move(w);
+  }
+  return lambda;
+}
+
+}  // namespace ffc::linalg

@@ -1,0 +1,45 @@
+// Eigenvalues of general real matrices.
+//
+// The paper's stability criterion (§2.4.3) is that all eigenvalues of the
+// Jacobian DF of the flow-control map r̂ = F(r) have magnitude < 1. We compute
+// them by reducing to upper Hessenberg form (real Householder reflections)
+// and then running a shifted QR iteration in complex arithmetic with
+// Wilkinson shifts and deflation. Complex QR avoids the index gymnastics of
+// the Francis double-shift and is fully adequate at the sizes we care about
+// (one row per connection).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ffc::linalg {
+
+/// Reduces a square matrix to upper Hessenberg form by Householder
+/// similarity transforms. The result has the same eigenvalues as the input.
+Matrix hessenberg(Matrix a);
+
+/// Result of an eigenvalue computation.
+struct EigenResult {
+  /// Eigenvalues; complex-conjugate pairs of a real matrix appear as such
+  /// (up to roundoff). Sorted by decreasing magnitude.
+  std::vector<std::complex<double>> values;
+  /// False if the QR iteration hit its iteration cap before fully deflating
+  /// (should not happen in practice; callers may treat it as an error).
+  bool converged = true;
+};
+
+/// Computes all eigenvalues of a square real matrix.
+EigenResult eigenvalues(const Matrix& a);
+
+/// Largest eigenvalue magnitude; the stability analyses compare this
+/// against 1. Throws std::runtime_error if the iteration failed.
+double spectral_radius(const Matrix& a);
+
+/// Dominant eigenvalue magnitude estimated by power iteration; used in tests
+/// as an independent cross-check of the QR solver (valid when a dominant
+/// eigenvalue exists).
+double power_iteration_radius(const Matrix& a, std::size_t iterations = 2000);
+
+}  // namespace ffc::linalg

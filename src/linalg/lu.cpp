@@ -1,0 +1,92 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ffc::linalg {
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  if (!lu_.is_square()) {
+    throw std::invalid_argument("LuDecomposition: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::fabs(lu_(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best == 0.0) {
+      singular_ = true;
+      continue;  // keep factorizing remaining columns for determinant use
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(lu_(k, j), lu_(pivot, j));
+      }
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) / lu_(k, k);
+      lu_(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        lu_(i, j) -= factor * lu_(k, j);
+      }
+    }
+  }
+}
+
+double LuDecomposition::determinant() const {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  if (singular_) throw std::domain_error("LuDecomposition: singular matrix");
+  if (b.size() != n) {
+    throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+  }
+  Vector x(n);
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  const std::size_t n = lu_.rows();
+  if (singular_) throw std::domain_error("LuDecomposition: singular matrix");
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) {
+    e[col] = 1.0;
+    const Vector x = solve(e);
+    for (std::size_t row = 0; row < n; ++row) inv(row, col) = x[row];
+    e[col] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace ffc::linalg

@@ -1,0 +1,44 @@
+// LU factorization with partial pivoting: solve, determinant, inverse.
+//
+// Used by the Newton steady-state refiner (core/steady_state) and as a
+// building block for condition checks in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ffc::linalg {
+
+/// LU decomposition PA = LU with partial (row) pivoting.
+///
+/// Construction factorizes immediately; singular() reports whether a zero
+/// pivot was met (solve/inverse on a singular factorization throw).
+class LuDecomposition {
+ public:
+  /// Factorizes `a`, which must be square.
+  explicit LuDecomposition(Matrix a);
+
+  bool singular() const { return singular_; }
+
+  /// Determinant of the original matrix (0 if singular).
+  double determinant() const;
+
+  /// Solves A x = b. `b.size()` must equal the matrix dimension.
+  /// Throws std::domain_error if the matrix is singular.
+  Vector solve(const Vector& b) const;
+
+  /// Returns A^-1. Throws std::domain_error if singular.
+  Matrix inverse() const;
+
+  std::size_t dimension() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                 // packed L (unit diagonal implicit) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+  bool singular_ = false;
+};
+
+}  // namespace ffc::linalg

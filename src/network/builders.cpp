@@ -1,0 +1,98 @@
+#include "network/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ffc::network {
+
+Topology single_bottleneck(std::size_t n_connections, double mu,
+                           double latency) {
+  if (n_connections == 0) {
+    throw std::invalid_argument("single_bottleneck: need >= 1 connection");
+  }
+  std::vector<Gateway> gws{{mu, latency}};
+  std::vector<Connection> conns(n_connections, Connection{{0}});
+  return Topology(std::move(gws), std::move(conns));
+}
+
+Topology parking_lot(std::size_t hops, std::size_t cross_per_hop, double mu,
+                     double latency) {
+  if (hops == 0) throw std::invalid_argument("parking_lot: need >= 1 hop");
+  std::vector<Gateway> gws(hops, Gateway{mu, latency});
+  std::vector<Connection> conns;
+  Connection long_conn;
+  for (GatewayId a = 0; a < hops; ++a) long_conn.path.push_back(a);
+  conns.push_back(std::move(long_conn));
+  for (GatewayId a = 0; a < hops; ++a) {
+    for (std::size_t k = 0; k < cross_per_hop; ++k) {
+      conns.push_back(Connection{{a}});
+    }
+  }
+  return Topology(std::move(gws), std::move(conns));
+}
+
+Topology tandem(std::size_t hops, std::size_t n_connections, double mu,
+                double mu_last, double latency) {
+  if (hops == 0) throw std::invalid_argument("tandem: need >= 1 hop");
+  if (n_connections == 0) {
+    throw std::invalid_argument("tandem: need >= 1 connection");
+  }
+  std::vector<Gateway> gws(hops, Gateway{mu, latency});
+  gws.back().mu = mu_last;
+  Connection shared;
+  for (GatewayId a = 0; a < hops; ++a) shared.path.push_back(a);
+  std::vector<Connection> conns(n_connections, shared);
+  return Topology(std::move(gws), std::move(conns));
+}
+
+Topology random_topology(stats::Xoshiro256& rng,
+                         const RandomTopologyParams& params) {
+  if (params.num_gateways == 0 || params.num_connections == 0) {
+    throw std::invalid_argument("random_topology: empty topology");
+  }
+  if (!(params.mu_min > 0.0) || params.mu_max < params.mu_min) {
+    throw std::invalid_argument("random_topology: bad mu range");
+  }
+  std::vector<Gateway> gws(params.num_gateways);
+  for (Gateway& gw : gws) {
+    gw.mu = rng.uniform(params.mu_min,
+                        std::nextafter(params.mu_max, params.mu_max * 2));
+    gw.latency = params.latency_max > 0.0
+                     ? rng.uniform(0.0, params.latency_max)
+                     : 0.0;
+  }
+
+  const std::size_t max_len =
+      std::max<std::size_t>(1, std::min(params.max_path_length,
+                                        params.num_gateways));
+  std::vector<Connection> conns(params.num_connections);
+  std::vector<bool> covered(params.num_gateways, false);
+  for (Connection& conn : conns) {
+    const std::size_t len = 1 + rng.uniform_index(max_len);
+    // Sample a duplicate-free path by shuffling gateway ids.
+    std::vector<GatewayId> ids(params.num_gateways);
+    for (GatewayId a = 0; a < ids.size(); ++a) ids[a] = a;
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t pick = k + rng.uniform_index(ids.size() - k);
+      std::swap(ids[k], ids[pick]);
+    }
+    conn.path.assign(ids.begin(), ids.begin() + static_cast<long>(len));
+    for (GatewayId a : conn.path) covered[a] = true;
+  }
+  // Every gateway must carry at least one connection: route the first
+  // connections through any uncovered gateways by appending them.
+  std::size_t next_conn = 0;
+  for (GatewayId a = 0; a < params.num_gateways; ++a) {
+    if (covered[a]) continue;
+    Connection& conn = conns[next_conn % conns.size()];
+    if (std::find(conn.path.begin(), conn.path.end(), a) == conn.path.end()) {
+      conn.path.push_back(a);
+    }
+    covered[a] = true;
+    ++next_conn;
+  }
+  return Topology(std::move(gws), std::move(conns));
+}
+
+}  // namespace ffc::network

@@ -1,0 +1,72 @@
+#include "network/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ffc::network {
+
+Topology::Topology(std::vector<Gateway> gateways,
+                   std::vector<Connection> connections)
+    : gateways_(std::move(gateways)), connections_(std::move(connections)) {
+  for (const Gateway& gw : gateways_) {
+    if (!(gw.mu > 0.0) || std::isinf(gw.mu)) {
+      throw std::invalid_argument("Topology: gateway mu must be positive");
+    }
+    if (!(gw.latency >= 0.0) || std::isinf(gw.latency)) {
+      throw std::invalid_argument("Topology: latency must be >= 0 and finite");
+    }
+  }
+  through_.assign(gateways_.size(), {});
+  for (ConnectionId i = 0; i < connections_.size(); ++i) {
+    const auto& path = connections_[i].path;
+    if (path.empty()) {
+      throw std::invalid_argument("Topology: connection path is empty");
+    }
+    std::unordered_set<GatewayId> seen;
+    for (GatewayId a : path) {
+      if (a >= gateways_.size()) {
+        throw std::invalid_argument("Topology: path references bad gateway");
+      }
+      if (!seen.insert(a).second) {
+        throw std::invalid_argument("Topology: path revisits a gateway");
+      }
+      through_[a].push_back(i);
+    }
+  }
+}
+
+double Topology::path_latency(ConnectionId i) const {
+  double total = 0.0;
+  for (GatewayId a : path(i)) total += gateways_[a].latency;
+  return total;
+}
+
+Topology Topology::scaled_rates(double c) const {
+  if (!(c > 0.0)) {
+    throw std::invalid_argument("scaled_rates: factor must be > 0");
+  }
+  std::vector<Gateway> gws = gateways_;
+  for (Gateway& gw : gws) gw.mu *= c;
+  return Topology(std::move(gws), connections_);
+}
+
+Topology Topology::scaled_latencies(double c) const {
+  if (!(c >= 0.0)) {
+    throw std::invalid_argument("scaled_latencies: factor must be >= 0");
+  }
+  std::vector<Gateway> gws = gateways_;
+  for (Gateway& gw : gws) gw.latency *= c;
+  return Topology(std::move(gws), connections_);
+}
+
+std::string Topology::summary() const {
+  std::ostringstream oss;
+  oss << num_gateways() << " gateways, " << num_connections()
+      << " connections";
+  return oss.str();
+}
+
+}  // namespace ffc::network

@@ -1,0 +1,79 @@
+// Network and traffic topology (§2.1 of the paper).
+//
+// Gateways are logical: one per outgoing communication line, so a gateway is
+// exactly one exponential server of rate mu^a plus the line's propagation
+// latency l^a. Connections are source-destination pairs with a static path
+// y(i), the ordered list of gateways they traverse. Gamma(a) is the set of
+// connections through gateway a and N^a its size.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ffc::network {
+
+using GatewayId = std::size_t;
+using ConnectionId = std::size_t;
+
+/// One logical gateway: an exponential server plus its line's latency.
+struct Gateway {
+  double mu = 1.0;       ///< service rate (packets / unit time), > 0
+  double latency = 0.0;  ///< propagation delay of the outgoing line, >= 0
+};
+
+/// One connection: an ordered gateway path. Paths must be nonempty and may
+/// not revisit a gateway.
+struct Connection {
+  std::vector<GatewayId> path;
+};
+
+/// An immutable network + traffic topology with precomputed incidence sets.
+class Topology {
+ public:
+  /// Validates and indexes the topology. Throws std::invalid_argument if a
+  /// path is empty, references an unknown gateway, revisits a gateway, or if
+  /// any gateway parameter is invalid.
+  Topology(std::vector<Gateway> gateways, std::vector<Connection> connections);
+
+  std::size_t num_gateways() const { return gateways_.size(); }
+  std::size_t num_connections() const { return connections_.size(); }
+
+  const Gateway& gateway(GatewayId a) const { return gateways_.at(a); }
+  const Connection& connection(ConnectionId i) const {
+    return connections_.at(i);
+  }
+
+  /// y(i): gateways on connection i's path, in traversal order.
+  const std::vector<GatewayId>& path(ConnectionId i) const {
+    return connections_.at(i).path;
+  }
+
+  /// Gamma(a): connections through gateway a (ascending connection id).
+  const std::vector<ConnectionId>& connections_through(GatewayId a) const {
+    return through_.at(a);
+  }
+
+  /// N^a: number of connections through gateway a.
+  std::size_t fan_in(GatewayId a) const { return through_.at(a).size(); }
+
+  /// Sum of latencies along connection i's path.
+  double path_latency(ConnectionId i) const;
+
+  /// Returns a copy with every service rate scaled by c > 0 (used by the
+  /// time-scale-invariance experiments).
+  Topology scaled_rates(double c) const;
+
+  /// Returns a copy with every latency scaled by c >= 0.
+  Topology scaled_latencies(double c) const;
+
+  /// One-line human-readable summary ("3 gateways, 5 connections").
+  std::string summary() const;
+
+ private:
+  std::vector<Gateway> gateways_;
+  std::vector<Connection> connections_;
+  std::vector<std::vector<ConnectionId>> through_;
+};
+
+}  // namespace ffc::network

@@ -1,0 +1,47 @@
+#include "queueing/discipline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ffc::queueing {
+
+void validate_rates(const std::vector<double>& rates, double mu) {
+  if (!(mu > 0.0)) {
+    throw std::invalid_argument("ServiceDiscipline: mu must be > 0");
+  }
+  for (double r : rates) {
+    if (!(r >= 0.0) || std::isnan(r)) {
+      throw std::invalid_argument(
+          "ServiceDiscipline: rates must be nonnegative");
+    }
+    if (std::isinf(r)) {
+      throw std::invalid_argument("ServiceDiscipline: rates must be finite");
+    }
+  }
+}
+
+std::vector<double> ServiceDiscipline::sojourn_times(
+    const std::vector<double>& rates, double mu) const {
+  validate_rates(rates, mu);
+  // For zero-rate connections, evaluate the discipline with a vanishingly
+  // small probe rate; Q_i / r_i then approximates the limiting delay of a
+  // lone probe packet.
+  constexpr double kProbeFraction = 1e-9;
+  std::vector<double> probed = rates;
+  bool any_probe = false;
+  for (double& r : probed) {
+    if (r == 0.0) {
+      r = kProbeFraction * mu;
+      any_probe = true;
+    }
+  }
+  const std::vector<double> q =
+      queue_lengths(any_probe ? probed : rates, mu);
+  std::vector<double> w(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    w[i] = std::isinf(q[i]) ? q[i] : q[i] / probed[i];
+  }
+  return w;
+}
+
+}  // namespace ffc::queueing

@@ -1,0 +1,45 @@
+// Gateway service disciplines as analytic queue-length functions (§2.2).
+//
+// A service discipline is represented by the function Q(r): given the vector
+// of Poisson sending rates of the connections sharing a gateway of service
+// rate mu, it returns each connection's steady-state mean number of packets
+// in the system. The paper requires Q to be
+//   * symmetric in r (gateways cannot distinguish connections a priori),
+//   * time-scale invariant: Q(c*mu, c*r) == Q(mu, r),
+//   * monotone: dQ_i/dr_i >= 0 and Q_i > Q_j <=> r_i > r_j,
+// and feasible for a nonstalling server (see feasibility.hpp). All of these
+// are property-tested in tests/queueing.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace ffc::queueing {
+
+/// Interface for analytic service disciplines.
+class ServiceDiscipline {
+ public:
+  virtual ~ServiceDiscipline() = default;
+
+  /// Mean number of packets of each connection in the system, in the same
+  /// order as `rates`. Entries may be +infinity when the relevant load is at
+  /// or beyond capacity. Requires mu > 0 and all rates >= 0.
+  virtual std::vector<double> queue_lengths(const std::vector<double>& rates,
+                                            double mu) const = 0;
+
+  /// Human-readable name ("FIFO", "FairShare", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Mean per-packet sojourn time of each connection at this gateway, by
+  /// Little's law W_i = Q_i / r_i. For a zero-rate connection the value is
+  /// the limit as r_i -> 0+, evaluated numerically.
+  std::vector<double> sojourn_times(const std::vector<double>& rates,
+                                    double mu) const;
+};
+
+/// Validates (mu, rates) preconditions shared by all disciplines; throws
+/// std::invalid_argument on violation.
+void validate_rates(const std::vector<double>& rates, double mu);
+
+}  // namespace ffc::queueing

@@ -1,0 +1,124 @@
+#include "queueing/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "queueing/feasibility.hpp"
+
+namespace ffc::queueing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<std::size_t> sorted_by_rate(const std::vector<double>& rates) {
+  std::vector<std::size_t> order(rates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return rates[a] < rates[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<double> FairShare::cumulative_loads(
+    const std::vector<double>& rates, double mu) {
+  validate_rates(rates, mu);
+  std::vector<double> sigma(rates.size(), 0.0);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    double sum = 0.0;
+    for (double rk : rates) sum += std::min(rk, rates[i]);
+    sigma[i] = sum / mu;
+  }
+  return sigma;
+}
+
+std::vector<double> FairShare::queue_lengths(const std::vector<double>& rates,
+                                             double mu) const {
+  validate_rates(rates, mu);
+  const std::size_t n = rates.size();
+  std::vector<double> q(n, 0.0);
+  if (n == 0) return q;
+
+  const std::vector<std::size_t> order = sorted_by_rate(rates);
+
+  // Recursion over sorted positions p = 0..n-1:
+  //   sigma_p   = (sum_{k<=p} r_k + (n-1-p) r_p) / mu
+  //   Q_p       = (g(sigma_p) - sum_{m<p} Q_m) / (n - p)
+  double prefix_rate = 0.0;   // sum of sorted rates up to and including p
+  double prefix_queue = 0.0;  // sum of Q over sorted positions < p
+  bool saturated = false;     // once sigma_p >= 1, all later Q are infinite
+  for (std::size_t p = 0; p < n; ++p) {
+    const double rp = rates[order[p]];
+    prefix_rate += rp;
+    if (saturated) {
+      q[order[p]] = rp > 0.0 ? kInf : 0.0;
+      continue;
+    }
+    const double sigma =
+        (prefix_rate + static_cast<double>(n - 1 - p) * rp) / mu;
+    if (sigma >= 1.0) {
+      saturated = true;
+      q[order[p]] = rp > 0.0 ? kInf : 0.0;
+      continue;
+    }
+    const double value =
+        (g(sigma) - prefix_queue) / static_cast<double>(n - p);
+    q[order[p]] = value;
+    prefix_queue += value;
+  }
+
+  // Exact ties must get exactly equal queues; the recursion already yields
+  // that analytically, but enforce it bit-for-bit by averaging tie groups.
+  std::size_t p = 0;
+  while (p < n) {
+    std::size_t end = p + 1;
+    while (end < n && rates[order[end]] == rates[order[p]]) ++end;
+    if (end - p > 1) {
+      double sum = 0.0;
+      bool infinite = false;
+      for (std::size_t k = p; k < end; ++k) {
+        infinite = infinite || std::isinf(q[order[k]]);
+        sum += q[order[k]];
+      }
+      const double avg =
+          infinite ? kInf : sum / static_cast<double>(end - p);
+      for (std::size_t k = p; k < end; ++k) q[order[k]] = avg;
+    }
+    p = end;
+  }
+  return q;
+}
+
+FairShareDecomposition FairShare::decompose(const std::vector<double>& rates) {
+  for (double r : rates) {
+    if (!(r >= 0.0) || std::isinf(r)) {
+      throw std::invalid_argument("FairShare::decompose: bad rate");
+    }
+  }
+  const std::size_t n = rates.size();
+  FairShareDecomposition d;
+  d.sorted_order = sorted_by_rate(rates);
+  d.share.assign(n, std::vector<double>(n, 0.0));
+  d.class_totals.assign(n, 0.0);
+
+  // Class j (sorted position j) carries rate r_(j) - r_(j-1) from every
+  // connection whose rate is >= r_(j) -- i.e. sorted positions >= j.
+  double prev = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double rj = rates[d.sorted_order[j]];
+    const double increment = rj - prev;
+    prev = rj;
+    if (increment <= 0.0) continue;  // tie with previous class: zero width
+    for (std::size_t p = j; p < n; ++p) {
+      d.share[d.sorted_order[p]][j] = increment;
+      d.class_totals[j] += increment;
+    }
+  }
+  return d;
+}
+
+}  // namespace ffc::queueing

@@ -1,0 +1,60 @@
+// The Fair Share service discipline (§2.2 and Table 1 of the paper).
+//
+// Fair Share is a preemptive priority discipline built from a decomposition
+// of the connection streams. Label connections so the rates r_1 <= ... <= r_N
+// are increasing and write r_0 = 0. Priority class j (j = 1..N, highest
+// first) receives, from EVERY connection k >= j, an equal substream of rate
+// r_j - r_{j-1}; connections k < j contribute nothing to class j. (Table 1.)
+//
+// Feeding that decomposition into the preemptive-priority cumulative law
+// (priority.hpp) and attributing class occupancy symmetrically among the
+// connections sharing a class yields the closed-form recursion, with
+// sigma_i = sum_k min(r_k, r_i) / mu:
+//
+//   Q_i = [ g(sigma_i) - sum_{m<i} Q_m ] / (N - i + 1)
+//
+// Q_i depends only on rates r_j <= r_i -- the triangularity that drives
+// Theorem 4 -- and Q_i is finite whenever sigma_i < 1 even if the gateway as
+// a whole is overloaded (small senders are protected from large ones).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "queueing/discipline.hpp"
+
+namespace ffc::queueing {
+
+/// The Table-1 decomposition of a set of connection rates into priority
+/// substreams. Indices refer to connections in their ORIGINAL order; classes
+/// are numbered 0 (highest priority) .. N-1 (lowest).
+struct FairShareDecomposition {
+  /// share(i, j) = rate connection i contributes to priority class j.
+  /// Row-major [connection][class].
+  std::vector<std::vector<double>> share;
+  /// Total arrival rate of each class (column sums).
+  std::vector<double> class_totals;
+  /// Connection indices sorted by increasing rate (ties keep input order).
+  std::vector<std::size_t> sorted_order;
+
+  std::size_t num_connections() const { return share.size(); }
+};
+
+class FairShare final : public ServiceDiscipline {
+ public:
+  std::vector<double> queue_lengths(const std::vector<double>& rates,
+                                    double mu) const override;
+  std::string_view name() const override { return "FairShare"; }
+
+  /// Computes the Table-1 priority decomposition for the given rates.
+  /// The per-connection shares sum to that connection's rate, and the class
+  /// totals sum to the aggregate arrival rate.
+  static FairShareDecomposition decompose(const std::vector<double>& rates);
+
+  /// sigma_i = sum_k min(r_k, r_i) / mu, the cumulative load relevant to
+  /// connection i (original index order).
+  static std::vector<double> cumulative_loads(const std::vector<double>& rates,
+                                              double mu);
+};
+
+}  // namespace ffc::queueing

@@ -1,0 +1,45 @@
+// The paper's queueing primitives and feasibility constraints (§2.2).
+//
+// g(x) = x / (1 - x) is the mean number in system of an M/M/1 queue at load
+// x. Any queue-length function Q(r) realizable by a nonstalling service
+// discipline must satisfy (with connections numbered so that Q_i / r_i is
+// increasing):
+//
+//   (a) conservation:  sum_i Q_i = g(sum_i r_i / mu)
+//   (b) partial sums:  sum_{i<=k} Q_i >= g(sum_{i<=k} r_i / mu)  for all k
+//
+// [Cof80, Reg86 in the paper's bibliography].
+#pragma once
+
+#include <vector>
+
+namespace ffc::queueing {
+
+/// Mean number in system of an M/M/1 queue at utilization `x`.
+/// Returns +infinity for x >= 1; throws std::invalid_argument for x < 0.
+double g(double x);
+
+/// Inverse of g on [0, 1): the utilization that yields mean queue `q`.
+/// g_inverse(g(x)) == x for x in [0, 1). Accepts +infinity (returns 1).
+/// Throws std::invalid_argument for q < 0.
+double g_inverse(double q);
+
+/// Result of a feasibility check of a per-connection queue vector.
+struct FeasibilityReport {
+  bool conservation_ok = false;   ///< sum Q_i == g(rho_total) within tol
+  bool partial_sums_ok = false;   ///< all prefix constraints hold within tol
+  double worst_violation = 0.0;   ///< most negative margin observed
+  bool feasible() const { return conservation_ok && partial_sums_ok; }
+};
+
+/// Checks the nonstalling-discipline feasibility constraints for queue
+/// lengths `q` produced at a server of rate `mu` by sending rates `r`.
+///
+/// Infinite entries are allowed only when the corresponding prefix load is
+/// >= 1 (the check then treats conservation as satisfied vacuously, since
+/// g(rho_total) is also infinite).
+FeasibilityReport check_feasibility(const std::vector<double>& r,
+                                    const std::vector<double>& q, double mu,
+                                    double tol = 1e-9);
+
+}  // namespace ffc::queueing

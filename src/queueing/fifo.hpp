@@ -1,0 +1,21 @@
+// The FIFO service discipline (§2.2).
+//
+// Packets are served in arrival order; the gateway behaves as one M/M/1
+// queue with total load rho = sum_i r_i / mu, and each connection holds a
+// share of the occupancy proportional to its arrival rate:
+//
+//   Q_i(r) = rho_i / (1 - rho_total),   rho_i = r_i / mu.
+#pragma once
+
+#include "queueing/discipline.hpp"
+
+namespace ffc::queueing {
+
+class Fifo final : public ServiceDiscipline {
+ public:
+  std::vector<double> queue_lengths(const std::vector<double>& rates,
+                                    double mu) const override;
+  std::string_view name() const override { return "FIFO"; }
+};
+
+}  // namespace ffc::queueing

@@ -1,0 +1,29 @@
+// Egalitarian Processor Sharing -- a deliberately instructive discipline.
+//
+// PS serves all backlogged packets simultaneously at rate mu / (number in
+// system). For Poisson classes at an exponential server, the stationary
+// per-class occupancy is the classic insensitive product form
+//
+//   Q_i = rho_i / (1 - rho_total)
+//
+// -- EXACTLY the FIFO expression. The lesson, which sharpens the paper's
+// §3.4 point: "serving everyone equally right now" does not protect small
+// senders, because a greedy sender still floods the shared backlog and the
+// total still diverges at rho >= 1 for everyone. Fair Share's robustness
+// (Theorem 5) comes from strict PRIORITY of low-rate traffic, not from
+// instantaneous equality. PS therefore fails the Theorem-5 bound the same
+// way FIFO does.
+#pragma once
+
+#include "queueing/discipline.hpp"
+
+namespace ffc::queueing {
+
+class ProcessorSharing final : public ServiceDiscipline {
+ public:
+  std::vector<double> queue_lengths(const std::vector<double>& rates,
+                                    double mu) const override;
+  std::string_view name() const override { return "ProcessorSharing"; }
+};
+
+}  // namespace ffc::queueing

@@ -1,0 +1,43 @@
+#include "report/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace ffc::report {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(fields[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream oss;
+    oss << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+    fields.push_back(oss.str());
+  }
+  write_row(fields);
+}
+
+}  // namespace ffc::report

@@ -1,0 +1,64 @@
+#include "sim/fair_queueing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace ffc::sim {
+
+FairQueueingServer::FairQueueingServer(Simulator& sim, double mu,
+                                       std::size_t num_local,
+                                       stats::Xoshiro256 rng,
+                                       DepartureHandler on_departure)
+    : GatewayServer(sim, mu, num_local, rng, std::move(on_departure)),
+      backlog_(num_local),
+      last_finish_(num_local, 0.0) {}
+
+void FairQueueingServer::arrival(Packet packet, std::size_t local_conn) {
+  occupancy_delta(local_conn, +1);
+  Job job;
+  job.packet = std::move(packet);
+  job.local_conn = local_conn;
+  job.service_time = sample_service_time();
+  // Self-clocked tag: restart from the current virtual time if the
+  // connection was idle long enough for its finish number to lapse.
+  const double start = std::max(last_finish_[local_conn], virtual_time_);
+  job.finish_tag = start + job.service_time;
+  last_finish_[local_conn] = job.finish_tag;
+  backlog_[local_conn].push_back(std::move(job));
+  if (!in_service_) start_service();
+}
+
+void FairQueueingServer::start_service() {
+  // Pick the head-of-line packet with the smallest finish tag.
+  std::size_t best = backlog_.size();
+  double best_tag = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < backlog_.size(); ++k) {
+    if (backlog_[k].empty()) continue;
+    if (backlog_[k].front().finish_tag < best_tag) {
+      best_tag = backlog_[k].front().finish_tag;
+      best = k;
+    }
+  }
+  if (best == backlog_.size()) {
+    // Idle: let lapsed finish numbers restart from the current round.
+    return;
+  }
+  in_service_ = std::move(backlog_[best].front());
+  backlog_[best].pop_front();
+  virtual_time_ = in_service_->finish_tag;
+  const std::uint64_t gen = ++generation_;
+  sim().schedule_in(in_service_->service_time,
+                    [this, gen] { complete(gen); });
+}
+
+void FairQueueingServer::complete(std::uint64_t generation) {
+  if (generation != generation_ || !in_service_) return;
+  Job job = std::move(*in_service_);
+  in_service_.reset();
+  occupancy_delta(job.local_conn, -1);
+  deliver(std::move(job.packet));
+  start_service();
+}
+
+}  // namespace ffc::sim

@@ -1,0 +1,104 @@
+#include "sim/feedback_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ffc::sim {
+
+ClosedLoopSimulator::ClosedLoopSimulator(
+    network::Topology topology, SimDiscipline discipline,
+    std::shared_ptr<const core::SignalFunction> signal,
+    core::FeedbackStyle style,
+    std::vector<std::shared_ptr<const core::RateAdjustment>> adjusters,
+    std::uint64_t seed, ClosedLoopOptions options)
+    : sim_(std::move(topology), discipline, seed),
+      signal_(std::move(signal)),
+      style_(style),
+      adjusters_(std::move(adjusters)),
+      options_(options),
+      rates_(sim_.topology().num_connections(), 0.0) {
+  if (!signal_) throw std::invalid_argument("ClosedLoop: null signal");
+  if (adjusters_.size() != sim_.topology().num_connections()) {
+    throw std::invalid_argument("ClosedLoop: one adjuster per connection");
+  }
+  for (const auto& adj : adjusters_) {
+    if (!adj) throw std::invalid_argument("ClosedLoop: null adjuster");
+  }
+  if (!(options_.epoch_duration > 0.0)) {
+    throw std::invalid_argument("ClosedLoop: epoch_duration must be > 0");
+  }
+  if (options_.warmup_fraction < 0.0 || options_.warmup_fraction >= 1.0) {
+    throw std::invalid_argument("ClosedLoop: warmup_fraction in [0, 1)");
+  }
+}
+
+std::vector<EpochRecord> ClosedLoopSimulator::run(
+    const std::vector<double>& initial_rates, std::size_t epochs) {
+  if (initial_rates.size() != rates_.size()) {
+    throw std::invalid_argument("ClosedLoop: initial rate size mismatch");
+  }
+  rates_ = initial_rates;
+  std::vector<EpochRecord> records;
+  records.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    records.push_back(run_one_epoch());
+  }
+  return records;
+}
+
+EpochRecord ClosedLoopSimulator::run_one_epoch() {
+  const auto& topo = sim_.topology();
+  sim_.set_rates(rates_);
+  sim_.run_for(options_.epoch_duration * options_.warmup_fraction);
+  sim_.reset_metrics();
+  sim_.run_for(options_.epoch_duration * (1.0 - options_.warmup_fraction));
+
+  EpochRecord record;
+  record.rates = rates_;
+  record.signals.assign(rates_.size(), 0.0);
+  record.delays.assign(rates_.size(), 0.0);
+
+  // Per-gateway measured queues -> congestion -> signals, exactly as the
+  // analytic model forms them.
+  std::vector<std::vector<double>> gateway_signals(topo.num_gateways());
+  for (network::GatewayId a = 0; a < topo.num_gateways(); ++a) {
+    const auto& members = topo.connections_through(a);
+    std::vector<double> queues(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      queues[k] = sim_.mean_queue(a, members[k]);
+    }
+    const std::vector<double> congestion =
+        core::congestion_measures(style_, queues);
+    gateway_signals[a].resize(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      gateway_signals[a][k] = (*signal_)(congestion[k]);
+    }
+  }
+
+  for (network::ConnectionId i = 0; i < rates_.size(); ++i) {
+    double best = 0.0;
+    for (network::GatewayId a : topo.path(i)) {
+      const auto& members = topo.connections_through(a);
+      const std::size_t k = static_cast<std::size_t>(
+          std::find(members.begin(), members.end(), i) - members.begin());
+      best = std::max(best, gateway_signals[a][k]);
+    }
+    record.signals[i] = best;
+    // If the connection delivered nothing this epoch, fall back to its pure
+    // propagation latency (the adjuster still needs a finite delay).
+    const double measured = sim_.mean_delay(i);
+    record.delays[i] =
+        sim_.delivered(i) > 0 ? measured : topo.path_latency(i);
+  }
+
+  for (std::size_t i = 0; i < rates_.size(); ++i) {
+    const double f =
+        (*adjusters_[i])(rates_[i], record.signals[i], record.delays[i]);
+    rates_[i] = std::max(0.0, rates_[i] + f);
+  }
+  return record;
+}
+
+}  // namespace ffc::sim

@@ -1,0 +1,67 @@
+// Closed-loop feedback flow control over the packet simulator.
+//
+// The analytic model assumes queues equilibrate instantly between rate
+// updates. This driver realizes the same synchronous protocol on the
+// packet-level simulator: run an epoch of simulated time at fixed rates,
+// measure the per-connection average queues at each gateway, form the
+// congestion measures / signals / bottleneck combination exactly as the
+// model does, and apply the rate-adjustment algorithms. Comparing the rate
+// trajectory against FlowControlModel iterations tests how much the
+// instant-equilibration approximation matters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/congestion.hpp"
+#include "core/rate_adjustment.hpp"
+#include "core/signal.hpp"
+#include "sim/network_sim.hpp"
+
+namespace ffc::sim {
+
+/// One epoch's record.
+struct EpochRecord {
+  std::vector<double> rates;    ///< rates in force during the epoch
+  std::vector<double> signals;  ///< measured bottleneck signals b_i
+  std::vector<double> delays;   ///< measured mean one-way delays
+};
+
+/// Configuration of the closed loop.
+struct ClosedLoopOptions {
+  double epoch_duration = 500.0;  ///< simulated time per rate update
+  double warmup_fraction = 0.3;   ///< head of each epoch excluded from stats
+};
+
+class ClosedLoopSimulator {
+ public:
+  ClosedLoopSimulator(
+      network::Topology topology, SimDiscipline discipline,
+      std::shared_ptr<const core::SignalFunction> signal,
+      core::FeedbackStyle style,
+      std::vector<std::shared_ptr<const core::RateAdjustment>> adjusters,
+      std::uint64_t seed, ClosedLoopOptions options = {});
+
+  /// Runs `epochs` rate updates starting from `initial_rates`; returns one
+  /// record per epoch.
+  std::vector<EpochRecord> run(const std::vector<double>& initial_rates,
+                               std::size_t epochs);
+
+  /// The rates after the last run() call.
+  const std::vector<double>& rates() const { return rates_; }
+
+  NetworkSimulator& network() { return sim_; }
+
+ private:
+  EpochRecord run_one_epoch();
+
+  NetworkSimulator sim_;
+  std::shared_ptr<const core::SignalFunction> signal_;
+  core::FeedbackStyle style_;
+  std::vector<std::shared_ptr<const core::RateAdjustment>> adjusters_;
+  ClosedLoopOptions options_;
+  std::vector<double> rates_;
+};
+
+}  // namespace ffc::sim

@@ -1,0 +1,192 @@
+#include "sim/network_sim.hpp"
+
+#include <cmath>
+
+#include "sim/fair_queueing.hpp"
+#include <stdexcept>
+#include <utility>
+
+namespace ffc::sim {
+
+NetworkSimulator::NetworkSimulator(network::Topology topology,
+                                   SimDiscipline discipline,
+                                   std::uint64_t seed)
+    : topology_(std::move(topology)),
+      discipline_(discipline),
+      master_rng_(seed),
+      rates_(topology_.num_connections(), 0.0),
+      source_generation_(topology_.num_connections(), 0),
+      delay_stats_(topology_.num_connections()),
+      delay_samples_(topology_.num_connections()),
+      delivered_(topology_.num_connections(), 0) {
+  const std::size_t num_gw = topology_.num_gateways();
+  const std::size_t num_conn = topology_.num_connections();
+
+  local_index_.assign(num_gw, std::vector<std::size_t>(num_conn, 0));
+  for (network::GatewayId a = 0; a < num_gw; ++a) {
+    const auto& members = topology_.connections_through(a);
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      local_index_[a][members[k]] = k;
+    }
+  }
+
+  servers_.reserve(num_gw);
+  for (network::GatewayId a = 0; a < num_gw; ++a) {
+    const auto& gw = topology_.gateway(a);
+    const std::size_t n_local = topology_.fan_in(a);
+    auto on_departure = [this](Packet p) { packet_departed_gateway(std::move(p)); };
+    stats::Xoshiro256 server_rng = master_rng_.split();
+    switch (discipline_) {
+      case SimDiscipline::Fifo:
+        servers_.push_back(std::make_unique<FifoServer>(
+            sim_, gw.mu, n_local, server_rng, on_departure));
+        break;
+      case SimDiscipline::FairShare:
+        servers_.push_back(std::make_unique<FairShareServer>(
+            sim_, gw.mu, n_local, server_rng, on_departure));
+        break;
+      case SimDiscipline::FairQueueing:
+        servers_.push_back(std::make_unique<FairQueueingServer>(
+            sim_, gw.mu, n_local, server_rng, on_departure));
+        break;
+    }
+  }
+
+  source_rng_.reserve(num_conn);
+  for (std::size_t i = 0; i < num_conn; ++i) {
+    source_rng_.push_back(master_rng_.split());
+  }
+}
+
+void NetworkSimulator::set_rates(const std::vector<double>& rates) {
+  if (rates.size() != topology_.num_connections()) {
+    throw std::invalid_argument("NetworkSimulator: rate size mismatch");
+  }
+  for (double r : rates) {
+    if (std::isnan(r) || std::isinf(r) || r < 0.0) {
+      throw std::invalid_argument(
+          "NetworkSimulator: rates must be finite and >= 0");
+    }
+  }
+  rates_ = rates;
+
+  if (discipline_ == SimDiscipline::FairShare) {
+    for (network::GatewayId a = 0; a < topology_.num_gateways(); ++a) {
+      const auto& members = topology_.connections_through(a);
+      std::vector<double> local_rates(members.size());
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        local_rates[k] = rates_[members[k]];
+      }
+      static_cast<FairShareServer*>(servers_[a].get())
+          ->set_rates(local_rates);
+    }
+  }
+
+  // Restart every source process under the new rate; stale arrival events
+  // are invalidated by the generation counter.
+  for (network::ConnectionId i = 0; i < rates_.size(); ++i) {
+    const std::uint64_t gen = ++source_generation_[i];
+    if (rates_[i] > 0.0) schedule_next_arrival(i, gen);
+  }
+}
+
+void NetworkSimulator::schedule_next_arrival(network::ConnectionId i,
+                                             std::uint64_t gen) {
+  const double gap = source_rng_[i].exponential(rates_[i]);
+  sim_.schedule_in(gap, [this, i, gen] {
+    if (gen != source_generation_[i]) return;  // source was re-rated
+    Packet packet;
+    packet.id = next_packet_id_++;
+    packet.connection = i;
+    packet.hop = 0;
+    packet.created = sim_.now();
+    arrive_at_hop(std::move(packet));
+    schedule_next_arrival(i, gen);
+  });
+}
+
+void NetworkSimulator::arrive_at_hop(Packet packet) {
+  const auto& path = topology_.path(packet.connection);
+  const network::GatewayId a = path.at(packet.hop);
+  const std::size_t local = local_index_[a][packet.connection];
+  servers_[a]->arrival(std::move(packet), local);
+}
+
+void NetworkSimulator::packet_departed_gateway(Packet packet) {
+  const auto& path = topology_.path(packet.connection);
+  const network::GatewayId a = path.at(packet.hop);
+  const double latency = topology_.gateway(a).latency;
+  const bool last_hop = packet.hop + 1 == path.size();
+  packet.hop += 1;
+  packet.priority_class = 0;  // classes are per-gateway
+  if (last_hop) {
+    const network::ConnectionId i = packet.connection;
+    const double created = packet.created;
+    sim_.schedule_in(latency, [this, i, created] {
+      const double delay = sim_.now() - created;
+      delay_stats_[i].add(delay);
+      if (delay_samples_[i].size() < kMaxDelaySamples) {
+        delay_samples_[i].push_back(delay);
+      }
+      ++delivered_[i];
+    });
+  } else {
+    sim_.schedule_in(latency, [this, p = std::move(packet)]() mutable {
+      arrive_at_hop(std::move(p));
+    });
+  }
+}
+
+void NetworkSimulator::run_for(double duration) {
+  if (!(duration >= 0.0)) {
+    throw std::invalid_argument("NetworkSimulator: duration must be >= 0");
+  }
+  sim_.run_until(sim_.now() + duration);
+}
+
+void NetworkSimulator::reset_metrics() {
+  for (auto& server : servers_) server->reset_metrics();
+  for (auto& s : delay_stats_) s = stats::OnlineStats();
+  for (auto& samples : delay_samples_) samples.clear();
+  for (auto& d : delivered_) d = 0;
+  metrics_start_ = sim_.now();
+}
+
+double NetworkSimulator::mean_queue(network::GatewayId a,
+                                    network::ConnectionId i) const {
+  const auto& members = topology_.connections_through(a);
+  bool found = false;
+  for (network::ConnectionId j : members) found = found || j == i;
+  if (!found) {
+    throw std::invalid_argument(
+        "NetworkSimulator::mean_queue: connection not at gateway");
+  }
+  servers_[a]->flush_metrics();
+  return servers_[a]->mean_occupancy(local_index_[a][i]);
+}
+
+double NetworkSimulator::mean_total_queue(network::GatewayId a) const {
+  servers_.at(a)->flush_metrics();
+  return servers_[a]->mean_total_occupancy();
+}
+
+double NetworkSimulator::mean_delay(network::ConnectionId i) const {
+  return delay_stats_.at(i).mean();
+}
+
+double NetworkSimulator::throughput(network::ConnectionId i) const {
+  const double span = sim_.now() - metrics_start_;
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(delivered_.at(i)) / span;
+}
+
+std::uint64_t NetworkSimulator::delivered(network::ConnectionId i) const {
+  return delivered_.at(i);
+}
+
+const std::vector<double>& NetworkSimulator::delay_samples(
+    network::ConnectionId i) const {
+  return delay_samples_.at(i);
+}
+
+}  // namespace ffc::sim

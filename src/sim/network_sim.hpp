@@ -1,0 +1,101 @@
+// Packet-level simulation of a whole topology (§2.1's network model).
+//
+// Each connection is a Poisson source whose packets traverse the gateway
+// path y(i); every gateway is an exponential server (FIFO or Fair Share)
+// followed by the line's constant latency; delivered packets are absorbed by
+// a per-connection sink recording one-way delay and throughput.
+//
+// This simulator validates the analytic model's two §2 approximations --
+// per-connection queue formulas Q^a_i(r) and Poisson-through-the-network --
+// and drives the closed-loop experiments in feedback_sim.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "network/topology.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+
+namespace ffc::sim {
+
+/// Which gateway discipline the simulated servers implement.
+/// FairQueueing is the §4 "realistic" approximation of Fair Share
+/// (non-preemptive, self-clocked packet tags; see sim/fair_queueing.hpp).
+enum class SimDiscipline { Fifo, FairShare, FairQueueing };
+
+class NetworkSimulator {
+ public:
+  /// Builds the simulation; all sources start silent (rate 0) until
+  /// set_rates() is called.
+  NetworkSimulator(network::Topology topology, SimDiscipline discipline,
+                   std::uint64_t seed);
+
+  /// Sets every source's Poisson rate (and, for Fair Share gateways, the
+  /// class decomposition). Rates must be finite and >= 0.
+  void set_rates(const std::vector<double>& rates);
+
+  /// Advances the simulation by `duration` time units.
+  void run_for(double duration);
+
+  /// Discards every statistic gathered so far (warm-up / epoch reset).
+  void reset_metrics();
+
+  /// Time-average number of connection i's packets at gateway a (the
+  /// simulated Q^a_i). Throws if i does not traverse a.
+  double mean_queue(network::GatewayId a, network::ConnectionId i) const;
+
+  /// Time-average total occupancy at gateway a.
+  double mean_total_queue(network::GatewayId a) const;
+
+  /// Mean one-way path delay of delivered packets of connection i
+  /// (latencies + queueing); 0 if nothing was delivered.
+  double mean_delay(network::ConnectionId i) const;
+
+  /// Delivered packets of connection i per unit time since the last metric
+  /// reset.
+  double throughput(network::ConnectionId i) const;
+
+  /// Packets delivered for connection i since the last metric reset.
+  std::uint64_t delivered(network::ConnectionId i) const;
+
+  /// Raw one-way delay samples of connection i since the last reset (capped
+  /// at kMaxDelaySamples; later deliveries stop being recorded). Used for
+  /// distributional validation (KS tests against the M/M/1 sojourn law).
+  const std::vector<double>& delay_samples(network::ConnectionId i) const;
+
+  static constexpr std::size_t kMaxDelaySamples = 200000;
+
+  double now() const { return sim_.now(); }
+  std::uint64_t events_processed() const { return sim_.events_processed(); }
+  const network::Topology& topology() const { return topology_; }
+
+ private:
+  void schedule_next_arrival(network::ConnectionId i, std::uint64_t gen);
+  void packet_departed_gateway(Packet packet);
+  void arrive_at_hop(Packet packet);
+
+  network::Topology topology_;
+  SimDiscipline discipline_;
+  Simulator sim_;
+  stats::Xoshiro256 master_rng_;
+
+  std::vector<std::unique_ptr<GatewayServer>> servers_;
+  /// local index of connection i at gateway a: local_index_[a][i] (size
+  /// num_connections, only valid where i traverses a).
+  std::vector<std::vector<std::size_t>> local_index_;
+
+  std::vector<double> rates_;
+  std::vector<stats::Xoshiro256> source_rng_;
+  std::vector<std::uint64_t> source_generation_;
+
+  std::vector<stats::OnlineStats> delay_stats_;
+  std::vector<std::vector<double>> delay_samples_;
+  std::vector<std::uint64_t> delivered_;
+  double metrics_start_ = 0.0;
+  std::uint64_t next_packet_id_ = 0;
+};
+
+}  // namespace ffc::sim

@@ -1,0 +1,20 @@
+// The unit of traffic in the packet-level simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ffc::sim {
+
+struct Packet {
+  std::uint64_t id = 0;          ///< globally unique
+  std::size_t connection = 0;    ///< global connection id
+  std::size_t hop = 0;           ///< index into the connection's path
+  std::size_t priority_class = 0;  ///< Fair Share class at the current gateway
+  double created = 0.0;          ///< time the source emitted it
+  /// DECbit-style congestion indication: set by any congested gateway on the
+  /// path, returned to the source in the ACK (window simulator only).
+  bool congestion_bit = false;
+};
+
+}  // namespace ffc::sim

@@ -1,0 +1,182 @@
+#include "sim/server.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "queueing/fair_share.hpp"
+
+namespace ffc::sim {
+
+GatewayServer::GatewayServer(Simulator& sim, double mu, std::size_t num_local,
+                             stats::Xoshiro256 rng,
+                             DepartureHandler on_departure)
+    : sim_(sim),
+      mu_(mu),
+      num_local_(num_local),
+      rng_(rng),
+      on_departure_(std::move(on_departure)),
+      in_system_(num_local, 0),
+      occupancy_(num_local, stats::TimeWeightedStats(sim.now(), 0.0)) {
+  if (!(mu > 0.0)) throw std::invalid_argument("GatewayServer: mu must be > 0");
+  if (!on_departure_) {
+    throw std::invalid_argument("GatewayServer: null departure handler");
+  }
+}
+
+void GatewayServer::occupancy_delta(std::size_t local_conn, int delta) {
+  in_system_.at(local_conn) += delta;
+  if (in_system_[local_conn] < 0) {
+    throw std::logic_error("GatewayServer: negative occupancy");
+  }
+  total_in_system_ =
+      static_cast<std::size_t>(static_cast<long>(total_in_system_) + delta);
+  occupancy_[local_conn].update(sim_.now(),
+                                static_cast<double>(in_system_[local_conn]));
+}
+
+double GatewayServer::mean_occupancy(std::size_t local_conn) const {
+  return occupancy_.at(local_conn).time_average();
+}
+
+double GatewayServer::mean_total_occupancy() const {
+  double total = 0.0;
+  for (const auto& s : occupancy_) total += s.time_average();
+  return total;
+}
+
+void GatewayServer::reset_metrics() {
+  for (auto& s : occupancy_) {
+    s.advance_to(sim_.now());
+    s.reset(sim_.now());
+  }
+}
+
+void GatewayServer::flush_metrics() {
+  for (auto& s : occupancy_) s.advance_to(sim_.now());
+}
+
+// ---------------------------------------------------------------- FIFO ----
+
+void FifoServer::arrival(Packet packet, std::size_t local_conn) {
+  occupancy_delta(local_conn, +1);
+  queue_.push_back(Job{std::move(packet), local_conn});
+  if (!in_service_) start_service();
+}
+
+void FifoServer::start_service() {
+  if (queue_.empty()) return;
+  in_service_ = std::move(queue_.front());
+  queue_.pop_front();
+  const std::uint64_t gen = ++generation_;
+  sim().schedule_in(sample_service_time(), [this, gen] { complete(gen); });
+}
+
+void FifoServer::complete(std::uint64_t generation) {
+  if (generation != generation_ || !in_service_) return;  // stale event
+  Job job = std::move(*in_service_);
+  in_service_.reset();
+  occupancy_delta(job.local_conn, -1);
+  deliver(std::move(job.packet));
+  start_service();
+}
+
+// ------------------------------------------------------------ Priority ----
+
+PriorityServer::PriorityServer(Simulator& sim, double mu,
+                               std::size_t num_local, std::size_t num_classes,
+                               stats::Xoshiro256 rng,
+                               DepartureHandler on_departure)
+    : GatewayServer(sim, mu, num_local, rng, std::move(on_departure)),
+      classes_(num_classes) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("PriorityServer: need >= 1 class");
+  }
+}
+
+void PriorityServer::arrival(Packet packet, std::size_t local_conn) {
+  occupancy_delta(local_conn, +1);
+  const std::size_t klass = packet.priority_class;
+  if (klass >= classes_.size()) {
+    throw std::invalid_argument("PriorityServer: bad priority class");
+  }
+  classes_[klass].push_back(Job{std::move(packet), local_conn});
+
+  if (!in_service_) {
+    start_service();
+  } else if (klass < in_service_class_) {
+    // Preempt: the running job returns to the HEAD of its class queue; a
+    // fresh exponential sample on resume is distributionally exact.
+    ++generation_;  // invalidates the pending completion event
+    classes_[in_service_class_].push_front(std::move(*in_service_));
+    in_service_.reset();
+    start_service();
+  }
+}
+
+void PriorityServer::start_service() {
+  for (std::size_t klass = 0; klass < classes_.size(); ++klass) {
+    if (classes_[klass].empty()) continue;
+    in_service_ = std::move(classes_[klass].front());
+    classes_[klass].pop_front();
+    in_service_class_ = klass;
+    const std::uint64_t gen = ++generation_;
+    sim().schedule_in(sample_service_time(), [this, gen] { complete(gen); });
+    return;
+  }
+}
+
+void PriorityServer::complete(std::uint64_t generation) {
+  if (generation != generation_ || !in_service_) return;  // stale or preempted
+  Job job = std::move(*in_service_);
+  in_service_.reset();
+  occupancy_delta(job.local_conn, -1);
+  deliver(std::move(job.packet));
+  start_service();
+}
+
+// ----------------------------------------------------------- FairShare ----
+
+FairShareServer::FairShareServer(Simulator& sim, double mu,
+                                 std::size_t num_local,
+                                 stats::Xoshiro256 rng,
+                                 DepartureHandler on_departure)
+    : PriorityServer(sim, mu, num_local, std::max<std::size_t>(1, num_local),
+                     rng, std::move(on_departure)),
+      // The base keeps a copy of `rng`'s current state for service times;
+      // derive an unrelated stream for class assignment by reseeding from a
+      // draw (split() would hand back the very position the base copied).
+      class_rng_(stats::Xoshiro256(rng.next() ^ 0xa5a5a5a55a5a5a5aULL)),
+      cumulative_share_(num_local) {}
+
+void FairShareServer::set_rates(const std::vector<double>& local_rates) {
+  if (local_rates.size() != num_local()) {
+    throw std::invalid_argument("FairShareServer: rate size mismatch");
+  }
+  const auto decomposition = queueing::FairShare::decompose(local_rates);
+  for (std::size_t k = 0; k < num_local(); ++k) {
+    auto& cum = cumulative_share_[k];
+    cum.assign(num_local(), 0.0);
+    double acc = 0.0;
+    const double total = local_rates[k];
+    for (std::size_t j = 0; j < num_local(); ++j) {
+      acc += decomposition.share[k][j];
+      cum[j] = total > 0.0 ? acc / total : 1.0;
+    }
+    if (!cum.empty()) cum.back() = 1.0;  // guard against fp undershoot
+  }
+}
+
+void FairShareServer::arrival(Packet packet, std::size_t local_conn) {
+  if (cumulative_share_.at(local_conn).empty()) {
+    throw std::logic_error("FairShareServer: set_rates was never called");
+  }
+  const double u = class_rng_.uniform01();
+  const auto& cum = cumulative_share_[local_conn];
+  std::size_t klass = 0;
+  while (klass + 1 < cum.size() && u >= cum[klass]) ++klass;
+  packet.priority_class = klass;
+  PriorityServer::arrival(std::move(packet), local_conn);
+}
+
+}  // namespace ffc::sim

@@ -1,0 +1,153 @@
+// Gateway servers: exponential service under FIFO, preemptive priority, and
+// Fair Share disciplines, with per-connection occupancy measurement.
+//
+// Every server measures, per local connection, the time-average number of
+// packets in the system (queued + in service) -- the simulated counterpart
+// of the analytic Q^a_i(r).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace ffc::sim {
+
+/// Base class: owns the clockwork shared by all disciplines (service-rate
+/// sampling, occupancy accounting, departure delivery).
+class GatewayServer {
+ public:
+  using DepartureHandler = std::function<void(Packet)>;
+
+  /// `num_local` is the number of connections routed through this gateway;
+  /// arrivals must carry local connection indices via the translation the
+  /// caller performs (see NetworkSimulator).
+  GatewayServer(Simulator& sim, double mu, std::size_t num_local,
+                stats::Xoshiro256 rng, DepartureHandler on_departure);
+  virtual ~GatewayServer() = default;
+
+  GatewayServer(const GatewayServer&) = delete;
+  GatewayServer& operator=(const GatewayServer&) = delete;
+
+  /// A packet of local connection `local_conn` arrives now.
+  virtual void arrival(Packet packet, std::size_t local_conn) = 0;
+
+  /// Time-average number in system for a local connection.
+  double mean_occupancy(std::size_t local_conn) const;
+
+  /// Packets in the system right now, across all connections. Used by the
+  /// windowed simulator's DECbit rule (set the congestion bit when the
+  /// gateway's queue is at or above a threshold).
+  std::size_t instantaneous_total() const { return total_in_system_; }
+
+  /// Packets of one local connection in the system right now (the
+  /// "selective" / individual DECbit rule marks based on this).
+  std::size_t instantaneous_occupancy(std::size_t local_conn) const {
+    return static_cast<std::size_t>(in_system_.at(local_conn));
+  }
+
+  /// Total time-average number in system across connections.
+  double mean_total_occupancy() const;
+
+  /// Discards occupancy history (warm-up removal / epoch reset).
+  void reset_metrics();
+
+  /// Advances the occupancy integrators to the current time (call before
+  /// reading statistics).
+  void flush_metrics();
+
+  double mu() const { return mu_; }
+  std::size_t num_local() const { return num_local_; }
+
+ protected:
+  Simulator& sim() { return sim_; }
+  double sample_service_time() { return rng_.exponential(mu_); }
+  void occupancy_delta(std::size_t local_conn, int delta);
+  void deliver(Packet packet) { on_departure_(std::move(packet)); }
+
+ private:
+  Simulator& sim_;
+  double mu_;
+  std::size_t num_local_;
+  stats::Xoshiro256 rng_;
+  DepartureHandler on_departure_;
+  std::vector<int> in_system_;
+  std::size_t total_in_system_ = 0;
+  std::vector<stats::TimeWeightedStats> occupancy_;
+};
+
+/// First-in first-out single server.
+class FifoServer final : public GatewayServer {
+ public:
+  using GatewayServer::GatewayServer;
+  void arrival(Packet packet, std::size_t local_conn) override;
+
+ private:
+  void start_service();
+  void complete(std::uint64_t generation);
+
+  struct Job {
+    Packet packet;
+    std::size_t local_conn;
+  };
+  std::deque<Job> queue_;
+  std::optional<Job> in_service_;
+  std::uint64_t generation_ = 0;
+};
+
+/// Preemptive-resume priority server; class 0 preempts everything below.
+/// Service is exponential, so "resume" draws a fresh sample -- statistically
+/// identical by memorylessness.
+class PriorityServer : public GatewayServer {
+ public:
+  PriorityServer(Simulator& sim, double mu, std::size_t num_local,
+                 std::size_t num_classes, stats::Xoshiro256 rng,
+                 DepartureHandler on_departure);
+
+  /// Enqueues into `packet.priority_class`.
+  void arrival(Packet packet, std::size_t local_conn) override;
+
+ private:
+  void start_service();
+  void complete(std::uint64_t generation);
+
+  struct Job {
+    Packet packet;
+    std::size_t local_conn;
+  };
+  std::vector<std::deque<Job>> classes_;
+  std::optional<Job> in_service_;
+  std::size_t in_service_class_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Fair Share: the Table-1 decomposition realized by random splitting.
+/// Each arriving packet of local connection k is assigned priority class
+/// j <= position(k) with probability (r_(j) - r_(j-1)) / r_k -- splitting a
+/// Poisson stream this way yields exactly the independent Poisson
+/// substreams of the paper's construction. Rates must be kept current via
+/// set_rates().
+class FairShareServer final : public PriorityServer {
+ public:
+  FairShareServer(Simulator& sim, double mu, std::size_t num_local,
+                  stats::Xoshiro256 rng, DepartureHandler on_departure);
+
+  /// Updates the per-connection rates driving the class decomposition.
+  void set_rates(const std::vector<double>& local_rates);
+
+  void arrival(Packet packet, std::size_t local_conn) override;
+
+ private:
+  stats::Xoshiro256 class_rng_;
+  /// cumulative_share_[k][j]: P(class <= j) for connection k.
+  std::vector<std::vector<double>> cumulative_share_;
+};
+
+}  // namespace ffc::sim

@@ -1,0 +1,17 @@
+// Umbrella header for the packet-level simulation library.
+//
+//   NetworkSimulator        -- open-loop Poisson sources over a topology
+//   ClosedLoopSimulator     -- epoch-based rate feedback over packets
+//   WindowNetworkSimulator  -- sliding-window ACK-clocked DECbit sources
+//
+// Gateway disciplines: FIFO, preemptive-priority Fair Share (Table 1
+// realized by stream splitting), and packet-by-packet Fair Queueing.
+#pragma once
+
+#include "sim/fair_queueing.hpp"
+#include "sim/feedback_sim.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/packet.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+#include "sim/window_sim.hpp"

@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ffc::sim {
+
+void Simulator::schedule_at(double t, Callback cb) {
+  if (std::isnan(t) || t < now_) {
+    throw std::invalid_argument("Simulator: cannot schedule in the past");
+  }
+  if (!cb) throw std::invalid_argument("Simulator: empty callback");
+  events_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::schedule_in(double dt, Callback cb) {
+  if (std::isnan(dt) || dt < 0.0) {
+    throw std::invalid_argument("Simulator: delay must be >= 0");
+  }
+  schedule_at(now_ + dt, std::move(cb));
+}
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB, so
+  // copy the callback (events are small; the callback is the only payload).
+  Event ev = events_.top();
+  events_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::run_until(double t) {
+  if (t < now_) {
+    throw std::invalid_argument("Simulator: cannot run backwards");
+  }
+  while (!events_.empty() && events_.top().time <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace ffc::sim

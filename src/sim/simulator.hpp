@@ -1,0 +1,64 @@
+// Discrete-event simulation core.
+//
+// A minimal calendar: events are (time, sequence, callback) triples popped in
+// time order (FIFO among ties, guaranteed by the sequence number). Servers
+// that need to cancel pending completions (preemptive priority) use
+// generation counters on their side rather than a cancellation API, keeping
+// the calendar allocation-free of bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ffc::sim {
+
+/// The event calendar and simulation clock.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time.
+  double now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  void schedule_at(double t, Callback cb);
+
+  /// Schedules `cb` `dt` time units from now (dt must be >= 0).
+  void schedule_in(double dt, Callback cb);
+
+  /// Executes the next event, advancing the clock. Returns false if the
+  /// calendar is empty.
+  bool step();
+
+  /// Runs events until the clock would pass `t`; the clock is left exactly
+  /// at `t` (pending later events remain scheduled).
+  void run_until(double t);
+
+  /// True if no events are pending.
+  bool empty() const { return events_.empty(); }
+
+  /// Total number of events executed.
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace ffc::sim

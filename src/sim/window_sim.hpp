@@ -1,0 +1,125 @@
+// Window-based (ACK-clocked) flow control over the packet simulator --
+// the mechanism the real algorithms of §4 actually use.
+//
+// The analytic model treats sources as rate-controlled; DECbit and
+// Jacobson's TCP are WINDOW-controlled: a source keeps at most W packets in
+// flight, sending a new one whenever an acknowledgement returns. Congestion
+// feedback is the DECbit rule: a gateway whose instantaneous queue is at or
+// above `bit_threshold` sets the congestion bit in passing packets; the bit
+// rides back in the ACK. Once per window's worth of ACKs the source adjusts:
+//
+//   W <- W * decrease   if >= half the window's ACKs carried the bit,
+//   W <- W + increase   otherwise                     (linear-increase,
+//                                                      multiplicative-
+//                                                      decrease [Jai88])
+//
+// This simulator exists to test the paper's §4 reading of those designs on
+// the real mechanism: window control is latency-biased under FIFO (short-RTT
+// connections grab the bottleneck), and fair-queueing-style gateways repair
+// much of that bias [Dem89] -- see exp_e14_windowed_decbit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "network/topology.hpp"
+#include "sim/network_sim.hpp"  // SimDiscipline
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+
+namespace ffc::sim {
+
+/// Which queue the DECbit rule inspects -- the §2.3.1 aggregate/individual
+/// distinction, realized at the bit level:
+///   AggregateQueue: original DECbit [Jai88] -- mark every passing packet
+///                   when the gateway's TOTAL queue >= threshold.
+///   OwnQueue:       selective DECbit [Ram87] -- mark a packet only when
+///                   ITS OWN connection's queue >= threshold.
+enum class BitRule { AggregateQueue, OwnQueue };
+
+/// Configuration of the windowed simulation.
+struct WindowOptions {
+  BitRule bit_rule = BitRule::AggregateQueue;
+  double bit_threshold = 2.0;   ///< DECbit: set bit when queue >= threshold
+  double initial_window = 2.0;
+  double increase = 1.0;        ///< additive window increase
+  double decrease = 0.875;      ///< multiplicative window decrease
+  double min_window = 1.0;
+  double max_window = 256.0;
+  bool adapt = true;            ///< false = fixed sliding windows
+};
+
+/// Packet-level simulation of sliding-window sources with DECbit feedback.
+class WindowNetworkSimulator {
+ public:
+  WindowNetworkSimulator(network::Topology topology,
+                         SimDiscipline discipline, WindowOptions options,
+                         std::uint64_t seed);
+
+  /// Advances the simulation (sources start sending at construction).
+  void run_for(double duration);
+
+  /// Discards throughput / queue statistics gathered so far.
+  void reset_metrics();
+
+  /// Current congestion window of connection i.
+  double window(network::ConnectionId i) const;
+
+  /// Fixes connection i's window at `w` and stops adapting it -- a source
+  /// that ignores congestion bits (the §3.4 heterogeneity/robustness
+  /// scenario at the window level). Call before or during the run.
+  void pin_window(network::ConnectionId i, double w);
+
+  /// Delivered packets of i per unit time since the last metric reset.
+  double throughput(network::ConnectionId i) const;
+
+  /// Mean round-trip time (data path + ACK return) of connection i's
+  /// acknowledged packets; 0 if none.
+  double mean_rtt(network::ConnectionId i) const;
+
+  /// Fraction of i's ACKs carrying the congestion bit since the reset.
+  double bit_fraction(network::ConnectionId i) const;
+
+  /// Time-average number of i's packets at gateway a.
+  double mean_queue(network::GatewayId a, network::ConnectionId i) const;
+
+  std::uint64_t delivered(network::ConnectionId i) const;
+  double now() const { return sim_.now(); }
+  const network::Topology& topology() const { return topology_; }
+
+ private:
+  struct SourceState {
+    double window = 2.0;
+    bool adaptive = true;
+    std::size_t in_flight = 0;
+    std::uint64_t acks_in_cycle = 0;
+    std::uint64_t bits_in_cycle = 0;
+    std::uint64_t cycle_length = 2;  ///< ACKs per adjustment (~the window)
+  };
+
+  void try_send(network::ConnectionId i);
+  void maybe_mark(Packet& packet, network::GatewayId a,
+                  std::size_t local) const;
+  void packet_departed_gateway(Packet packet);
+  void ack_arrived(network::ConnectionId i, double created, bool bit);
+  void adjust_window(network::ConnectionId i);
+
+  network::Topology topology_;
+  WindowOptions options_;
+  Simulator sim_;
+
+  std::vector<std::unique_ptr<GatewayServer>> servers_;
+  std::vector<std::vector<std::size_t>> local_index_;
+  std::vector<SourceState> sources_;
+
+  std::vector<stats::OnlineStats> rtt_stats_;
+  std::vector<std::uint64_t> delivered_;
+  std::vector<std::uint64_t> acks_;
+  std::vector<std::uint64_t> bits_;
+  double metrics_start_ = 0.0;
+  std::uint64_t next_packet_id_ = 0;
+};
+
+}  // namespace ffc::sim

@@ -1,0 +1,59 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ffc::stats {
+
+BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("BatchMeans: batch_size must be >= 1");
+  }
+}
+
+void BatchMeans::add(double x) {
+  batch_sum_ += x;
+  if (++in_batch_ == batch_size_) {
+    batch_means_.push_back(batch_sum_ / static_cast<double>(batch_size_));
+    batch_sum_ = 0.0;
+    in_batch_ = 0;
+  }
+}
+
+double BatchMeans::mean() const {
+  if (batch_means_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double m : batch_means_) sum += m;
+  return sum / static_cast<double>(batch_means_.size());
+}
+
+double BatchMeans::batch_variance() const {
+  const std::size_t k = batch_means_.size();
+  if (k < 2) return 0.0;
+  const double mu = mean();
+  double ss = 0.0;
+  for (double m : batch_means_) ss += (m - mu) * (m - mu);
+  return ss / static_cast<double>(k - 1);
+}
+
+double BatchMeans::ci_halfwidth(double z) const {
+  const std::size_t k = batch_means_.size();
+  if (k < 2) return 0.0;
+  return z * std::sqrt(batch_variance() / static_cast<double>(k));
+}
+
+double BatchMeans::batch_lag1_autocorrelation() const {
+  const std::size_t k = batch_means_.size();
+  if (k < 3) return 0.0;
+  const double mu = mean();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = batch_means_[i] - mu;
+    den += d * d;
+    if (i + 1 < k) num += d * (batch_means_[i + 1] - mu);
+  }
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+}  // namespace ffc::stats

@@ -1,0 +1,49 @@
+// Batch-means confidence intervals for steady-state simulation output.
+//
+// Samples from a simulation in steady state are autocorrelated, so the plain
+// i.i.d. CI underestimates the error. The classic remedy is the method of
+// batch means: partition the (post-warm-up) sample stream into contiguous
+// batches, treat batch averages as approximately independent, and build the
+// CI from their spread.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ffc::stats {
+
+/// Accumulates a stream of samples into fixed-size batches and reports a
+/// confidence interval on the long-run mean from the batch averages.
+class BatchMeans {
+ public:
+  /// `batch_size` samples form one batch; must be >= 1.
+  explicit BatchMeans(std::size_t batch_size);
+
+  /// Adds one sample.
+  void add(double x);
+
+  /// Number of completed batches.
+  std::size_t num_batches() const { return batch_means_.size(); }
+
+  /// Grand mean over completed batches (0 if none complete).
+  double mean() const;
+
+  /// Half-width of the normal-approximation CI from the batch means
+  /// (0 with fewer than two complete batches).
+  double ci_halfwidth(double z = 1.96) const;
+
+  /// Variance of the batch means (unbiased; 0 with fewer than two batches).
+  double batch_variance() const;
+
+  /// Lag-1 autocorrelation of the batch means. Values near 0 indicate the
+  /// batches are long enough to be treated as independent.
+  double batch_lag1_autocorrelation() const;
+
+ private:
+  std::size_t batch_size_;
+  std::size_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  std::vector<double> batch_means_;
+};
+
+}  // namespace ffc::stats

@@ -1,0 +1,60 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ffc::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need >= 1 bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (std::isnan(x)) {
+    ++overflow_;  // count NaN as overflow rather than losing it silently
+    return;
+  }
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge case
+    ++counts_[bin];
+  }
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+double Histogram::bin_fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q must be in [0, 1]");
+  }
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cum + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[b]);
+      return lo_ + (static_cast<double>(b) + frac) * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace ffc::stats

@@ -1,0 +1,50 @@
+// Fixed-bin histogram with quantile estimation.
+//
+// Used by the discrete-event simulator to summarize delay and queue-length
+// distributions (e.g. to compare the simulated M/M/1 occupancy distribution
+// against the geometric law the paper's model assumes).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ffc::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+/// overflow counters.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one sample.
+  void add(double x);
+
+  std::size_t total_count() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t num_bins() const { return counts_.size(); }
+
+  /// Center of bin `bin` in data coordinates.
+  double bin_center(std::size_t bin) const;
+
+  /// Fraction of all samples (including under/overflow) in bin `bin`.
+  double bin_fraction(std::size_t bin) const;
+
+  /// Approximate q-quantile (q in [0, 1]) by linear interpolation within the
+  /// containing bin. Underflow counts as lo, overflow as hi. Returns lo when
+  /// empty.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ffc::stats

@@ -1,0 +1,102 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ffc::stats {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256::result_type Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform01() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  if (!(lo < hi)) throw std::invalid_argument("uniform: lo must be < hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Xoshiro256::exponential(double rate) {
+  if (!(rate > 0)) throw std::invalid_argument("exponential: rate must be > 0");
+  // 1 - U is in (0, 1], so the log argument is never zero.
+  return -std::log1p(-uniform01()) / rate;
+}
+
+std::uint64_t Xoshiro256::uniform_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_index: n must be > 0");
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t x;
+  do {
+    x = next();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Xoshiro256::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+bool Xoshiro256::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("bernoulli: p must be in [0, 1]");
+  }
+  return uniform01() < p;
+}
+
+Xoshiro256 Xoshiro256::split() {
+  // xoshiro256** jump polynomial (advances 2^128 steps).
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  Xoshiro256 child = *this;  // child keeps the current stream position
+  std::array<std::uint64_t, 4> acc{0, 0, 0, 0};
+  for (std::uint64_t jump : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (jump & (std::uint64_t{1} << bit)) {
+        for (int w = 0; w < 4; ++w) acc[static_cast<std::size_t>(w)] ^= s_[static_cast<std::size_t>(w)];
+      }
+      next();
+    }
+  }
+  s_ = acc;  // this generator lands 2^128 ahead; child keeps old position
+  return child;
+}
+
+}  // namespace ffc::stats

@@ -1,0 +1,48 @@
+// Shared factories for model-level tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/rate_adjustment.hpp"
+#include "core/signal.hpp"
+#include "network/builders.hpp"
+#include "queueing/fair_share.hpp"
+#include "queueing/fifo.hpp"
+
+namespace ffc::testing {
+
+inline std::shared_ptr<const queueing::ServiceDiscipline> fifo() {
+  return std::make_shared<queueing::Fifo>();
+}
+
+inline std::shared_ptr<const queueing::ServiceDiscipline> fair_share() {
+  return std::make_shared<queueing::FairShare>();
+}
+
+inline std::shared_ptr<const core::SignalFunction> rational_signal() {
+  return std::make_shared<core::RationalSignal>();
+}
+
+/// Homogeneous model over a given topology: additive TSI adjuster with the
+/// given eta/beta, rational signal.
+inline core::FlowControlModel make_model(
+    network::Topology topo,
+    std::shared_ptr<const queueing::ServiceDiscipline> discipline,
+    core::FeedbackStyle style, double eta = 0.1, double beta = 0.5) {
+  return core::FlowControlModel(
+      std::move(topo), std::move(discipline), rational_signal(), style,
+      std::make_shared<core::AdditiveTsi>(eta, beta));
+}
+
+/// Single-gateway homogeneous model with N connections.
+inline core::FlowControlModel single_gateway_model(
+    std::size_t n, std::shared_ptr<const queueing::ServiceDiscipline> disc,
+    core::FeedbackStyle style, double eta = 0.1, double beta = 0.5,
+    double mu = 1.0) {
+  return make_model(network::single_bottleneck(n, mu), std::move(disc),
+                    style, eta, beta);
+}
+
+}  // namespace ffc::testing

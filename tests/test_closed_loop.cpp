@@ -1,0 +1,140 @@
+// Integration tests: closed-loop feedback on the packet simulator vs the
+// analytic synchronous model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "core/model.hpp"
+#include "core/steady_state.hpp"
+#include "network/builders.hpp"
+#include "queueing/fifo.hpp"
+#include "sim/feedback_sim.hpp"
+
+namespace {
+
+using ffc::core::AdditiveTsi;
+using ffc::core::FeedbackStyle;
+using ffc::core::RationalSignal;
+using ffc::sim::ClosedLoopOptions;
+using ffc::sim::ClosedLoopSimulator;
+using ffc::sim::SimDiscipline;
+
+std::vector<std::shared_ptr<const ffc::core::RateAdjustment>> homogeneous(
+    std::size_t n, double eta, double beta) {
+  return {n, std::make_shared<AdditiveTsi>(eta, beta)};
+}
+
+TEST(ClosedLoop, ConvergesNearFairSteadyStateIndividualFairShare) {
+  const std::size_t n = 3;
+  auto topo = ffc::network::single_bottleneck(n, 1.0);
+  ClosedLoopOptions opts;
+  opts.epoch_duration = 3000.0;
+  ClosedLoopSimulator loop(topo, SimDiscipline::FairShare,
+                           std::make_shared<RationalSignal>(),
+                           FeedbackStyle::Individual,
+                           homogeneous(n, 0.15, 0.5), 112233, opts);
+  const auto records = loop.run({0.05, 0.2, 0.35}, 40);
+  ASSERT_EQ(records.size(), 40u);
+  // The analytic fair steady state is 0.5/3 each; noisy measurement keeps
+  // the loop hovering around it.
+  const auto& final_rates = loop.rates();
+  for (double r : final_rates) EXPECT_NEAR(r, 0.5 / 3.0, 0.05);
+}
+
+TEST(ClosedLoop, AggregateFifoRegulatesTotalLoadButNotShares) {
+  const std::size_t n = 2;
+  auto topo = ffc::network::single_bottleneck(n, 1.0);
+  ClosedLoopOptions opts;
+  opts.epoch_duration = 3000.0;
+  ClosedLoopSimulator loop(topo, SimDiscipline::Fifo,
+                           std::make_shared<RationalSignal>(),
+                           FeedbackStyle::Aggregate, homogeneous(n, 0.1, 0.5),
+                           445566, opts);
+  loop.run({0.05, 0.35}, 40);
+  const auto& rates = loop.rates();
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_NEAR(total, 0.5, 0.06);
+  // The initial 0.3 spread survives (aggregate additive feedback cannot
+  // erase it).
+  EXPECT_GT(rates[1] - rates[0], 0.15);
+}
+
+TEST(ClosedLoop, TracksAnalyticModelTrajectory) {
+  // Epoch-by-epoch, the simulated rates should stay close to the analytic
+  // iteration from the same start.
+  const std::size_t n = 2;
+  auto topo = ffc::network::single_bottleneck(n, 1.0);
+  ClosedLoopOptions opts;
+  opts.epoch_duration = 4000.0;
+  ClosedLoopSimulator loop(topo, SimDiscipline::Fifo,
+                           std::make_shared<RationalSignal>(),
+                           FeedbackStyle::Aggregate,
+                           homogeneous(n, 0.2, 0.5), 777, opts);
+  const auto records = loop.run({0.1, 0.1}, 15);
+
+  ffc::core::FlowControlModel model(
+      topo, std::make_shared<ffc::queueing::Fifo>(),
+      std::make_shared<RationalSignal>(), FeedbackStyle::Aggregate,
+      std::make_shared<AdditiveTsi>(0.2, 0.5));
+  std::vector<double> r{0.1, 0.1};
+  for (std::size_t e = 0; e < records.size(); ++e) {
+    EXPECT_NEAR(records[e].rates[0], r[0], 0.04) << "epoch " << e;
+    r = model.step(r);
+  }
+}
+
+TEST(ClosedLoop, RecordsSignalsAndDelays) {
+  auto topo = ffc::network::single_bottleneck(1, 1.0, 0.5);
+  ClosedLoopOptions opts;
+  opts.epoch_duration = 2000.0;
+  ClosedLoopSimulator loop(topo, SimDiscipline::Fifo,
+                           std::make_shared<RationalSignal>(),
+                           FeedbackStyle::Aggregate, homogeneous(1, 0.1, 0.5),
+                           99, opts);
+  const auto records = loop.run({0.5}, 3);
+  for (const auto& rec : records) {
+    EXPECT_GE(rec.signals[0], 0.0);
+    EXPECT_LE(rec.signals[0], 1.0);
+    EXPECT_GT(rec.delays[0], 0.5);  // at least the propagation latency
+  }
+  // At r = 0.5, rho = 0.5: signal should measure about 0.5.
+  EXPECT_NEAR(records[0].signals[0], 0.5, 0.07);
+}
+
+TEST(ClosedLoop, SilentSourceUsesLatencyFallbackDelay) {
+  auto topo = ffc::network::single_bottleneck(1, 1.0, 0.7);
+  ClosedLoopOptions opts;
+  opts.epoch_duration = 50.0;
+  ClosedLoopSimulator loop(topo, SimDiscipline::Fifo,
+                           std::make_shared<RationalSignal>(),
+                           FeedbackStyle::Aggregate, homogeneous(1, 0.1, 0.5),
+                           3, opts);
+  const auto records = loop.run({0.0}, 1);
+  EXPECT_DOUBLE_EQ(records[0].delays[0], 0.7);
+  // And the adjuster has begun opening the rate from zero.
+  EXPECT_GT(loop.rates()[0], 0.0);
+}
+
+TEST(ClosedLoop, Validation) {
+  auto topo = ffc::network::single_bottleneck(2, 1.0);
+  EXPECT_THROW(ClosedLoopSimulator(topo, SimDiscipline::Fifo, nullptr,
+                                   FeedbackStyle::Aggregate,
+                                   homogeneous(2, 0.1, 0.5), 1),
+               std::invalid_argument);
+  EXPECT_THROW(ClosedLoopSimulator(topo, SimDiscipline::Fifo,
+                                   std::make_shared<RationalSignal>(),
+                                   FeedbackStyle::Aggregate,
+                                   homogeneous(1, 0.1, 0.5), 1),
+               std::invalid_argument);
+  ClosedLoopOptions bad;
+  bad.epoch_duration = 0.0;
+  EXPECT_THROW(ClosedLoopSimulator(topo, SimDiscipline::Fifo,
+                                   std::make_shared<RationalSignal>(),
+                                   FeedbackStyle::Aggregate,
+                                   homogeneous(2, 0.1, 0.5), 1, bad),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Tests for the design-goal scorer (the programmatic §5 summary table).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/design_eval.hpp"
+#include "queueing/fair_share.hpp"
+#include "queueing/fifo.hpp"
+
+namespace {
+
+using ffc::core::DesignEvalOptions;
+using ffc::core::DesignGoals;
+using ffc::core::evaluate_design;
+using ffc::core::FeedbackStyle;
+
+DesignEvalOptions quick() {
+  DesignEvalOptions opts;
+  opts.fairness_trials = 3;
+  opts.eta_grid_max = 0.6;  // enough to cover the interesting thresholds
+  return opts;
+}
+
+TEST(DesignEval, AggregateFifoMatchesPaper) {
+  const DesignGoals goals = evaluate_design(
+      FeedbackStyle::Aggregate, std::make_shared<ffc::queueing::Fifo>(),
+      quick());
+  EXPECT_TRUE(goals.tsi);
+  EXPECT_FALSE(goals.guaranteed_fair);
+  EXPECT_FALSE(goals.robust);
+  EXPECT_FALSE(goals.unilateral_implies_systemic);
+}
+
+TEST(DesignEval, IndividualFifoMatchesPaper) {
+  const DesignGoals goals = evaluate_design(
+      FeedbackStyle::Individual, std::make_shared<ffc::queueing::Fifo>(),
+      quick());
+  EXPECT_TRUE(goals.tsi);
+  EXPECT_TRUE(goals.guaranteed_fair);
+  EXPECT_FALSE(goals.robust);
+  EXPECT_FALSE(goals.unilateral_implies_systemic);
+}
+
+TEST(DesignEval, IndividualFairShareMatchesPaper) {
+  const DesignGoals goals = evaluate_design(
+      FeedbackStyle::Individual,
+      std::make_shared<ffc::queueing::FairShare>(), quick());
+  EXPECT_TRUE(goals.tsi);
+  EXPECT_TRUE(goals.guaranteed_fair);
+  EXPECT_TRUE(goals.robust);
+  EXPECT_TRUE(goals.unilateral_implies_systemic);
+}
+
+TEST(DesignEval, Validation) {
+  EXPECT_THROW(evaluate_design(FeedbackStyle::Individual, nullptr),
+               std::invalid_argument);
+  DesignEvalOptions bad;
+  bad.num_connections = 1;
+  EXPECT_THROW(evaluate_design(FeedbackStyle::Individual,
+                               std::make_shared<ffc::queueing::Fifo>(), bad),
+               std::invalid_argument);
+}
+
+}  // namespace

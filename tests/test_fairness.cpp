@@ -1,0 +1,101 @@
+// Tests for the paper's fairness criterion and Jain's index.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/fairness.hpp"
+#include "core/steady_state.hpp"
+#include "helpers.hpp"
+#include "network/builders.hpp"
+
+namespace {
+
+using ffc::core::check_fairness;
+using ffc::core::fair_steady_state;
+using ffc::core::FeedbackStyle;
+using ffc::core::jain_index;
+using ffc::network::Connection;
+using ffc::network::Topology;
+namespace th = ffc::testing;
+
+TEST(JainIndex, BoundsAndKnownValues) {
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 1.0, 1.0}), 1.0);
+  // One of two starves: index 1/2.
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0}), 0.5);
+  // k of n equal, rest zero: k/n.
+  EXPECT_NEAR(jain_index({2.0, 2.0, 0.0, 0.0}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+  EXPECT_THROW(jain_index({}), std::invalid_argument);
+  EXPECT_THROW(jain_index({-1.0}), std::invalid_argument);
+}
+
+TEST(Fairness, EqualSplitAtSingleGatewayIsFair) {
+  auto model = th::single_gateway_model(3, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  const auto report = check_fairness(model, {0.1, 0.1, 0.1});
+  EXPECT_TRUE(report.fair);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_DOUBLE_EQ(report.jain_index, 1.0);
+}
+
+TEST(Fairness, UnevenSplitAtSingleGatewayIsUnfair) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  const auto report = check_fairness(model, {0.1, 0.4});
+  EXPECT_FALSE(report.fair);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations[0].bottlenecked, 0u);
+  EXPECT_EQ(report.violations[0].faster, 1u);
+  EXPECT_NEAR(report.violations[0].excess, 0.3, 1e-12);
+}
+
+TEST(Fairness, StarvedConnectionFlagsViolation) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  const auto report = check_fairness(model, {0.0, 0.5});
+  EXPECT_FALSE(report.fair);
+}
+
+TEST(Fairness, MaxMinAllocationOnHeterogeneousNetworkIsFair) {
+  // Long connection through a slow gateway, short one through the fast
+  // gateway only. The short connection may exceed the long one's rate,
+  // because the long connection's bottleneck is elsewhere.
+  Topology topo({{2.0, 0.0}, {0.5, 0.0}},
+                {Connection{{0, 1}}, Connection{{0}}});
+  auto model = th::make_model(topo, th::fifo(), FeedbackStyle::Individual,
+                              0.05, 0.5);
+  const auto rates = fair_steady_state(topo, 0.5);
+  EXPECT_GT(rates[1], rates[0]);  // the allocation really is uneven
+  const auto report = check_fairness(model, rates);
+  EXPECT_TRUE(report.fair) << "max-min allocation must pass the criterion";
+}
+
+TEST(Fairness, InvertedAllocationOnHeterogeneousNetworkIsUnfair) {
+  Topology topo({{2.0, 0.0}, {0.5, 0.0}},
+                {Connection{{0, 1}}, Connection{{0}}});
+  auto model = th::make_model(topo, th::fifo(), FeedbackStyle::Individual,
+                              0.05, 0.5);
+  auto rates = fair_steady_state(topo, 0.5);
+  std::swap(rates[0], rates[1]);  // give the long connection the big share
+  // Now the short connection is bottlenecked at gateway 0 while the long
+  // one sends faster through it -- a violation.
+  const auto report = check_fairness(model, rates);
+  EXPECT_FALSE(report.fair);
+}
+
+TEST(Fairness, ParkingLotFairPointPasses) {
+  const auto topo = ffc::network::parking_lot(3, 2, 1.0);
+  auto model = th::make_model(topo, th::fair_share(),
+                              FeedbackStyle::Individual, 0.05, 0.5);
+  const auto rates = fair_steady_state(topo, 0.5);
+  EXPECT_TRUE(check_fairness(model, rates).fair);
+}
+
+TEST(Fairness, ToleranceAbsorbsNumericalNoise) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  const auto report = check_fairness(model, {0.1, 0.1 + 1e-9});
+  EXPECT_TRUE(report.fair);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// Tests for FlowControlModel: observation (queues, signals, bottlenecks,
+// delays) and the synchronous update step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/model.hpp"
+#include "core/steady_state.hpp"
+#include "helpers.hpp"
+#include "network/builders.hpp"
+#include "queueing/feasibility.hpp"
+
+namespace {
+
+using ffc::core::AdditiveTsi;
+using ffc::core::FeedbackStyle;
+using ffc::core::FlowControlModel;
+using ffc::core::NetworkState;
+using ffc::core::RationalSignal;
+using ffc::network::Connection;
+using ffc::network::Gateway;
+using ffc::network::Topology;
+using ffc::queueing::g;
+namespace th = ffc::testing;
+
+TEST(Model, SingleGatewayAggregateSignals) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  const NetworkState state = model.observe({0.2, 0.3});
+  // Total queue g(0.5) = 1; aggregate congestion identical for both.
+  ASSERT_EQ(state.gateways.size(), 1u);
+  EXPECT_NEAR(state.gateways[0].congestion[0], g(0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(state.gateways[0].congestion[0],
+                   state.gateways[0].congestion[1]);
+  // b = B(g(rho)) = rho for the rational signal.
+  EXPECT_NEAR(state.combined_signals[0], 0.5, 1e-12);
+  EXPECT_NEAR(state.combined_signals[1], 0.5, 1e-12);
+}
+
+TEST(Model, SingleGatewayIndividualSignalsDiffer) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Individual);
+  const NetworkState state = model.observe({0.2, 0.4});
+  EXPECT_LT(state.combined_signals[0], state.combined_signals[1]);
+}
+
+TEST(Model, BottleneckIsArgmaxGateway) {
+  // Two gateways in series; the slower one is the bottleneck.
+  Topology topo({{1.0, 0.0}, {0.5, 0.0}}, {Connection{{0, 1}}});
+  auto model = th::make_model(topo, th::fifo(), FeedbackStyle::Aggregate);
+  const NetworkState state = model.observe({0.3});
+  ASSERT_EQ(state.bottlenecks[0].size(), 1u);
+  EXPECT_EQ(state.bottlenecks[0][0], 1u);
+  // The combined signal is the slow gateway's.
+  EXPECT_NEAR(state.combined_signals[0], 0.3 / 0.5, 1e-12);
+}
+
+TEST(Model, DelayAddsLatenciesAndSojourns) {
+  Topology topo({{1.0, 0.25}, {1.0, 0.75}}, {Connection{{0, 1}}});
+  auto model = th::make_model(topo, th::fifo(), FeedbackStyle::Aggregate);
+  const NetworkState state = model.observe({0.5});
+  // Each M/M/1 at rho=0.5 has sojourn 1/(mu - r) = 2; latencies add 1.0.
+  EXPECT_NEAR(state.delays[0], 1.0 + 2.0 + 2.0, 1e-9);
+}
+
+TEST(Model, StepAppliesAdjusterAndTruncates) {
+  auto model = th::single_gateway_model(1, th::fifo(),
+                                        FeedbackStyle::Aggregate,
+                                        /*eta=*/10.0, /*beta=*/0.5);
+  // At rate 0.9 the signal is 0.9 > beta, f = 10*(0.5-0.9) = -4 -> truncate.
+  const auto next = model.step({0.9});
+  EXPECT_DOUBLE_EQ(next[0], 0.0);
+}
+
+TEST(Model, StepMovesTowardSteadySignal) {
+  auto model = th::single_gateway_model(1, th::fifo(),
+                                        FeedbackStyle::Aggregate,
+                                        /*eta=*/0.1, /*beta=*/0.5);
+  // Below the target utilization the rate must increase; above, decrease.
+  EXPECT_GT(model.step({0.2})[0], 0.2);
+  EXPECT_LT(model.step({0.8})[0], 0.8);
+  EXPECT_NEAR(model.step({0.5})[0], 0.5, 1e-12);
+}
+
+TEST(Model, OverloadedGatewaySignalsMaximalCongestion) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  const NetworkState state = model.observe({0.8, 0.8});
+  EXPECT_DOUBLE_EQ(state.combined_signals[0], 1.0);
+  EXPECT_TRUE(std::isinf(state.delays[0]));
+  // The step still works: maximal signal pushes the rate down.
+  const auto next = model.step({0.8, 0.8});
+  EXPECT_LT(next[0], 0.8);
+}
+
+TEST(Model, QueueOfLooksUpPerGatewayQueues) {
+  Topology topo({{1.0, 0.0}, {1.0, 0.0}},
+                {Connection{{0, 1}}, Connection{{1}}});
+  auto model = th::make_model(topo, th::fifo(), FeedbackStyle::Aggregate);
+  const NetworkState state = model.observe({0.2, 0.3});
+  // Gateway 1 carries both: load 0.5.
+  EXPECT_NEAR(model.queue_of(state, 0, 1), 0.2 / 0.5, 1e-12);
+  EXPECT_NEAR(model.queue_of(state, 1, 1), 0.3 / 0.5, 1e-12);
+  // Gateway 0 carries only connection 0: load 0.2.
+  EXPECT_NEAR(model.queue_of(state, 0, 0), 0.2 / 0.8, 1e-12);
+  EXPECT_THROW(model.queue_of(state, 1, 0), std::invalid_argument);
+}
+
+TEST(Model, HeterogeneousAdjustersApplied) {
+  auto topo = ffc::network::single_bottleneck(2);
+  std::vector<std::shared_ptr<const ffc::core::RateAdjustment>> adjusters{
+      std::make_shared<AdditiveTsi>(0.1, 0.4),
+      std::make_shared<AdditiveTsi>(0.1, 0.6)};
+  FlowControlModel model(topo, th::fifo(),
+                         std::make_shared<RationalSignal>(),
+                         FeedbackStyle::Aggregate, adjusters);
+  EXPECT_FALSE(model.homogeneous_tsi());
+  // At aggregate signal 0.5, the beta=0.4 source backs off, beta=0.6 pushes.
+  const auto next = model.step({0.25, 0.25});
+  EXPECT_LT(next[0], 0.25);
+  EXPECT_GT(next[1], 0.25);
+}
+
+TEST(Model, HomogeneousTsiDetection) {
+  auto model = th::single_gateway_model(3, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  EXPECT_TRUE(model.homogeneous_tsi());
+}
+
+TEST(Model, WithTopologyPreservesComponents) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Individual);
+  auto scaled = model.with_topology(model.topology().scaled_rates(3.0));
+  EXPECT_EQ(scaled.style(), FeedbackStyle::Individual);
+  EXPECT_DOUBLE_EQ(scaled.topology().gateway(0).mu, 3.0);
+  EXPECT_THROW(
+      model.with_topology(ffc::network::single_bottleneck(5)),
+      std::invalid_argument);
+}
+
+TEST(Model, ConstructionValidation) {
+  auto topo = ffc::network::single_bottleneck(2);
+  auto adj = std::make_shared<AdditiveTsi>(0.1, 0.5);
+  EXPECT_THROW(FlowControlModel(topo, nullptr,
+                                std::make_shared<RationalSignal>(),
+                                FeedbackStyle::Aggregate, adj),
+               std::invalid_argument);
+  EXPECT_THROW(FlowControlModel(topo, th::fifo(), nullptr,
+                                FeedbackStyle::Aggregate, adj),
+               std::invalid_argument);
+  std::vector<std::shared_ptr<const ffc::core::RateAdjustment>> too_few{adj};
+  EXPECT_THROW(FlowControlModel(topo, th::fifo(),
+                                std::make_shared<RationalSignal>(),
+                                FeedbackStyle::Aggregate, too_few),
+               std::invalid_argument);
+}
+
+TEST(Model, RateVectorValidation) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  EXPECT_THROW(model.observe({0.1}), std::invalid_argument);
+  EXPECT_THROW(model.observe({-0.1, 0.1}), std::invalid_argument);
+  EXPECT_THROW(model.observe({std::nan(""), 0.1}), std::invalid_argument);
+}
+
+TEST(Model, IndividualSignalsEqualAggregateWhenRatesEqual) {
+  auto agg = th::single_gateway_model(3, th::fifo(),
+                                      FeedbackStyle::Aggregate);
+  auto ind = th::single_gateway_model(3, th::fifo(),
+                                      FeedbackStyle::Individual);
+  const std::vector<double> r{0.2, 0.2, 0.2};
+  const auto sa = agg.observe(r);
+  const auto si = ind.observe(r);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(sa.combined_signals[i], si.combined_signals[i], 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Tests for Topology and the canonical topology builders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "network/builders.hpp"
+#include "network/topology.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using ffc::network::Connection;
+using ffc::network::Gateway;
+using ffc::network::parking_lot;
+using ffc::network::random_topology;
+using ffc::network::RandomTopologyParams;
+using ffc::network::single_bottleneck;
+using ffc::network::tandem;
+using ffc::network::Topology;
+using ffc::stats::Xoshiro256;
+
+TEST(Topology, IncidenceSetsAreConsistent) {
+  Topology topo({{1.0, 0.1}, {2.0, 0.2}},
+                {Connection{{0}}, Connection{{0, 1}}, Connection{{1}}});
+  EXPECT_EQ(topo.num_gateways(), 2u);
+  EXPECT_EQ(topo.num_connections(), 3u);
+  EXPECT_EQ(topo.fan_in(0), 2u);
+  EXPECT_EQ(topo.fan_in(1), 2u);
+  const auto& through0 = topo.connections_through(0);
+  EXPECT_TRUE(std::find(through0.begin(), through0.end(), 1u) !=
+              through0.end());
+  EXPECT_DOUBLE_EQ(topo.path_latency(1), 0.3);
+}
+
+TEST(Topology, RejectsInvalidInput) {
+  EXPECT_THROW(Topology({{0.0, 0.0}}, {Connection{{0}}}),
+               std::invalid_argument);  // mu <= 0
+  EXPECT_THROW(Topology({{1.0, -0.1}}, {Connection{{0}}}),
+               std::invalid_argument);  // negative latency
+  EXPECT_THROW(Topology({{1.0, 0.0}}, {Connection{{}}}),
+               std::invalid_argument);  // empty path
+  EXPECT_THROW(Topology({{1.0, 0.0}}, {Connection{{1}}}),
+               std::invalid_argument);  // unknown gateway
+  EXPECT_THROW(Topology({{1.0, 0.0}}, {Connection{{0, 0}}}),
+               std::invalid_argument);  // revisited gateway
+}
+
+TEST(Topology, ScaledRatesOnlyTouchesMu) {
+  Topology topo({{1.0, 0.5}}, {Connection{{0}}});
+  const Topology scaled = topo.scaled_rates(4.0);
+  EXPECT_DOUBLE_EQ(scaled.gateway(0).mu, 4.0);
+  EXPECT_DOUBLE_EQ(scaled.gateway(0).latency, 0.5);
+  EXPECT_THROW(topo.scaled_rates(0.0), std::invalid_argument);
+}
+
+TEST(Topology, ScaledLatencies) {
+  Topology topo({{1.0, 0.5}}, {Connection{{0}}});
+  const Topology scaled = topo.scaled_latencies(0.0);
+  EXPECT_DOUBLE_EQ(scaled.gateway(0).latency, 0.0);
+  EXPECT_DOUBLE_EQ(scaled.gateway(0).mu, 1.0);
+}
+
+TEST(Topology, SummaryMentionsCounts) {
+  Topology topo({{1.0, 0.0}}, {Connection{{0}}});
+  EXPECT_EQ(topo.summary(), "1 gateways, 1 connections");
+}
+
+TEST(Builders, SingleBottleneck) {
+  const Topology topo = single_bottleneck(5, 2.0, 0.25);
+  EXPECT_EQ(topo.num_gateways(), 1u);
+  EXPECT_EQ(topo.num_connections(), 5u);
+  EXPECT_EQ(topo.fan_in(0), 5u);
+  EXPECT_DOUBLE_EQ(topo.gateway(0).mu, 2.0);
+  EXPECT_THROW(single_bottleneck(0), std::invalid_argument);
+}
+
+TEST(Builders, ParkingLotShape) {
+  const Topology topo = parking_lot(3, 2);
+  // 1 long connection + 3 * 2 cross connections.
+  EXPECT_EQ(topo.num_connections(), 7u);
+  EXPECT_EQ(topo.num_gateways(), 3u);
+  EXPECT_EQ(topo.path(0).size(), 3u);        // the long connection
+  for (std::size_t a = 0; a < 3; ++a) {
+    EXPECT_EQ(topo.fan_in(a), 3u);  // long + 2 cross
+  }
+  EXPECT_THROW(parking_lot(0, 1), std::invalid_argument);
+}
+
+TEST(Builders, TandemBottleneckAtLastHop) {
+  const Topology topo = tandem(4, 3, 1.0, 0.5);
+  EXPECT_EQ(topo.num_gateways(), 4u);
+  EXPECT_EQ(topo.num_connections(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(topo.path(i).size(), 4u);
+  EXPECT_DOUBLE_EQ(topo.gateway(3).mu, 0.5);
+  EXPECT_DOUBLE_EQ(topo.gateway(0).mu, 1.0);
+}
+
+TEST(Builders, RandomTopologyCoversEveryGateway) {
+  Xoshiro256 rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomTopologyParams params;
+    params.num_gateways = 5;
+    params.num_connections = 6;
+    const Topology topo = random_topology(rng, params);
+    for (std::size_t a = 0; a < topo.num_gateways(); ++a) {
+      EXPECT_GE(topo.fan_in(a), 1u) << "gateway " << a << " uncovered";
+    }
+    for (std::size_t i = 0; i < topo.num_connections(); ++i) {
+      EXPECT_FALSE(topo.path(i).empty());
+    }
+  }
+}
+
+TEST(Builders, RandomTopologyRespectsMuRange) {
+  Xoshiro256 rng(5);
+  RandomTopologyParams params;
+  params.mu_min = 0.7;
+  params.mu_max = 0.9;
+  const Topology topo = random_topology(rng, params);
+  for (std::size_t a = 0; a < topo.num_gateways(); ++a) {
+    EXPECT_GE(topo.gateway(a).mu, 0.7);
+    EXPECT_LE(topo.gateway(a).mu, 0.9 + 1e-12);
+  }
+}
+
+TEST(Builders, RandomTopologyRejectsBadParams) {
+  Xoshiro256 rng(1);
+  RandomTopologyParams params;
+  params.num_connections = 0;
+  EXPECT_THROW(random_topology(rng, params), std::invalid_argument);
+  params.num_connections = 2;
+  params.mu_min = 0.0;
+  EXPECT_THROW(random_topology(rng, params), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the rate-adjustment families f(r, b, d), including Theorem 1's
+// TSI characterization at the level of individual adjusters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/rate_adjustment.hpp"
+
+namespace {
+
+using ffc::core::AdditiveTsi;
+using ffc::core::FunctionAdjustment;
+using ffc::core::MultiplicativeTsi;
+using ffc::core::RateLimd;
+using ffc::core::WindowLimd;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(AdditiveTsiTest, ZeroExactlyAtBeta) {
+  AdditiveTsi f(0.5, 0.4);
+  for (double r : {0.0, 1.0, 100.0}) {
+    for (double d : {0.1, 5.0}) {
+      EXPECT_DOUBLE_EQ(f(r, 0.4, d), 0.0);
+      EXPECT_GT(f(r, 0.3, d), 0.0);
+      EXPECT_LT(f(r, 0.5, d), 0.0);
+    }
+  }
+  EXPECT_TRUE(f.is_tsi());
+  EXPECT_DOUBLE_EQ(*f.steady_signal(), 0.4);
+}
+
+TEST(AdditiveTsiTest, MagnitudeScalesWithEta) {
+  AdditiveTsi slow(0.1, 0.5), fast(1.0, 0.5);
+  EXPECT_NEAR(fast(1.0, 0.2, 1.0), 10.0 * slow(1.0, 0.2, 1.0), 1e-12);
+}
+
+TEST(AdditiveTsiTest, ParameterValidation) {
+  EXPECT_THROW(AdditiveTsi(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(AdditiveTsi(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(AdditiveTsi(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(MultiplicativeTsiTest, ProportionalToRate) {
+  MultiplicativeTsi f(0.5, 0.4);
+  EXPECT_DOUBLE_EQ(f(2.0, 0.2, 1.0), 2.0 * f(1.0, 0.2, 1.0));
+  EXPECT_DOUBLE_EQ(f(0.0, 0.9, 1.0), 0.0);  // r = 0 is a fixed point
+  EXPECT_TRUE(f.is_tsi());
+}
+
+TEST(RateLimdTest, SteadyStateIndependentOfRatePartner) {
+  // f = (1-b) eta - beta b r = 0  =>  r* = eta (1-b)/(beta b): every source
+  // seeing the same signal lands on the same rate (guaranteed fair).
+  RateLimd f(2.0, 0.5);
+  const double b = 0.4;
+  const double r_star = 2.0 * (1 - b) / (0.5 * b);
+  EXPECT_NEAR(f(r_star, b, 1.0), 0.0, 1e-12);
+  EXPECT_GT(f(r_star * 0.9, b, 1.0), 0.0);
+  EXPECT_LT(f(r_star * 1.1, b, 1.0), 0.0);
+  EXPECT_FALSE(f.is_tsi());  // no single b_ss works for ALL r
+}
+
+TEST(WindowLimdTest, LatencySensitive) {
+  WindowLimd f(1.0, 0.5);
+  // Longer delay -> smaller increase term -> smaller equilibrium rate.
+  EXPECT_GT(f(1.0, 0.3, 0.5), f(1.0, 0.3, 5.0));
+  EXPECT_FALSE(f.is_tsi());
+}
+
+TEST(WindowLimdTest, ZeroDelayFallsBackToRateForm) {
+  // d = 0 cannot occur in the model (every gateway adds >= one service
+  // time) but the API accepts it; the documented fallback is the undivided
+  // increase term.
+  WindowLimd f(1.5, 0.5);
+  EXPECT_DOUBLE_EQ(f(1.0, 0.2, 0.0), (1.0 - 0.2) * 1.5 - 0.5 * 0.2 * 1.0);
+}
+
+TEST(WindowLimdTest, InfiniteDelayKillsIncrease) {
+  WindowLimd f(1.0, 0.5);
+  // With d = inf only the multiplicative decrease acts.
+  EXPECT_DOUBLE_EQ(f(2.0, 0.5, kInf), -0.5 * 0.5 * 2.0);
+}
+
+TEST(FunctionAdjustmentTest, WrapsCallable) {
+  FunctionAdjustment f([](double r, double b, double) { return b - r; },
+                       std::nullopt, "custom");
+  EXPECT_DOUBLE_EQ(f(0.25, 0.75, 1.0), 0.5);
+  EXPECT_FALSE(f.is_tsi());
+  EXPECT_EQ(f.name(), "custom");
+  EXPECT_THROW(FunctionAdjustment(nullptr, std::nullopt, "x"),
+               std::invalid_argument);
+}
+
+TEST(FunctionAdjustmentTest, CanDeclareTsi) {
+  FunctionAdjustment f([](double, double b, double) { return 0.3 - b; }, 0.3,
+                       "tsi-custom");
+  EXPECT_TRUE(f.is_tsi());
+  EXPECT_DOUBLE_EQ(*f.steady_signal(), 0.3);
+}
+
+TEST(ArgumentValidation, SharedPreconditions) {
+  AdditiveTsi f(0.5, 0.5);
+  EXPECT_THROW(f(-1.0, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(f(1.0, -0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(f(1.0, 1.5, 1.0), std::invalid_argument);
+  EXPECT_THROW(f(1.0, 0.5, -1.0), std::invalid_argument);
+  EXPECT_NO_THROW(f(1.0, 0.5, kInf));  // infinite delay is legal
+}
+
+// Theorem 1's characterization, checked per-family: for the TSI families
+// there is a b_ss nulling f for every (r, d); for the non-TSI families any
+// candidate b nulling f at one r fails at another.
+TEST(Theorem1Characterization, TsiFamiliesHaveUniformRoot) {
+  AdditiveTsi add(0.3, 0.6);
+  MultiplicativeTsi mult(0.3, 0.6);
+  for (double r : {0.5, 1.0, 8.0}) {
+    for (double d : {0.1, 3.0}) {
+      EXPECT_DOUBLE_EQ(add(r, 0.6, d), 0.0);
+      EXPECT_DOUBLE_EQ(mult(r, 0.6, d), 0.0);
+    }
+  }
+}
+
+TEST(Theorem1Characterization, NonTsiFamiliesHaveRateDependentRoot) {
+  RateLimd f(1.0, 1.0);
+  // Root at r=1: (1-b) - b = 0 => b = 0.5.
+  EXPECT_NEAR(f(1.0, 0.5, 1.0), 0.0, 1e-12);
+  // The same b does not null f at r = 3.
+  EXPECT_LT(f(3.0, 0.5, 1.0), -1e-6);
+}
+
+}  // namespace

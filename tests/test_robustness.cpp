@@ -1,0 +1,127 @@
+// Tests for the robustness machinery of §3.4 / Theorem 5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/robustness.hpp"
+#include "core/steady_state.hpp"
+#include "helpers.hpp"
+#include "network/builders.hpp"
+#include "queueing/fair_share.hpp"
+#include "queueing/fifo.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using ffc::core::check_robustness;
+using ffc::core::FeedbackStyle;
+using ffc::core::reservation_baseline;
+using ffc::core::theorem5_violation;
+using ffc::network::Connection;
+using ffc::network::single_bottleneck;
+using ffc::network::Topology;
+using ffc::queueing::FairShare;
+using ffc::queueing::Fifo;
+using ffc::stats::Xoshiro256;
+namespace th = ffc::testing;
+
+TEST(ReservationBaseline, SingleGateway) {
+  const auto topo = single_bottleneck(4, 2.0);
+  const auto floor = reservation_baseline(topo, {0.5, 0.5, 0.5, 0.5});
+  for (double f : floor) EXPECT_NEAR(f, 0.5 * 2.0 / 4.0, 1e-12);
+}
+
+TEST(ReservationBaseline, TightestGatewayAlongPathWins) {
+  Topology topo({{2.0, 0.0}, {0.4, 0.0}},
+                {Connection{{0, 1}}, Connection{{0}}});
+  const auto floor = reservation_baseline(topo, {0.5, 0.5});
+  // Connection 0: min(2/2, 0.4/1) = 0.4; connection 1: 2/2 = 1.
+  EXPECT_NEAR(floor[0], 0.5 * 0.4, 1e-12);
+  EXPECT_NEAR(floor[1], 0.5 * 1.0, 1e-12);
+}
+
+TEST(ReservationBaseline, HeterogeneousTargetsFromModel) {
+  auto topo = single_bottleneck(2, 1.0);
+  std::vector<std::shared_ptr<const ffc::core::RateAdjustment>> mixed{
+      std::make_shared<ffc::core::AdditiveTsi>(0.1, 0.3),
+      std::make_shared<ffc::core::AdditiveTsi>(0.1, 0.6)};
+  ffc::core::FlowControlModel model(topo, th::fifo(), th::rational_signal(),
+                                    FeedbackStyle::Individual, mixed);
+  const auto floor = reservation_baseline(model);
+  // Rational signal: rho_ss = b_ss, floor = b_ss * mu / N.
+  EXPECT_NEAR(floor[0], 0.3 / 2.0, 1e-12);
+  EXPECT_NEAR(floor[1], 0.6 / 2.0, 1e-12);
+}
+
+TEST(ReservationBaseline, Validation) {
+  const auto topo = single_bottleneck(2);
+  EXPECT_THROW(reservation_baseline(topo, {0.5}), std::invalid_argument);
+  EXPECT_THROW(reservation_baseline(topo, {0.5, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(CheckRobustness, PassAndFail) {
+  auto model = th::single_gateway_model(2, th::fair_share(),
+                                        FeedbackStyle::Individual, 0.1, 0.5);
+  // Floor is 0.25 each.
+  const auto pass = check_robustness(model, {0.25, 0.25});
+  EXPECT_TRUE(pass.robust);
+  const auto fail = check_robustness(model, {0.1, 0.4});
+  EXPECT_FALSE(fail.robust);
+  EXPECT_NEAR(fail.shortfall[0], 0.15, 1e-12);
+  EXPECT_DOUBLE_EQ(fail.shortfall[1], 0.0);
+}
+
+TEST(Theorem5Condition, FairShareSatisfiesBoundEverywhere) {
+  // Property sweep: FS must satisfy Q_i(r) <= r_i / (mu - N r_i) wherever
+  // N r_i < mu, including overloaded gateways.
+  FairShare fs;
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(6);
+    const double mu = rng.uniform(0.5, 2.0);
+    std::vector<double> r(n);
+    for (double& x : r) x = rng.uniform(0.0, 2.0 * mu / static_cast<double>(n));
+    EXPECT_LE(theorem5_violation(fs, r, mu), 1e-9)
+        << "FairShare violated the Theorem-5 bound";
+  }
+}
+
+TEST(Theorem5Condition, FairShareTightForUniformRates) {
+  // With equal rates, Q_i = g(N r / mu) / N = r / (mu - N r): equality.
+  FairShare fs;
+  const std::vector<double> r(4, 0.2);
+  EXPECT_NEAR(theorem5_violation(fs, r, 1.0), 0.0, 1e-12);
+}
+
+TEST(Theorem5Condition, FifoViolatesWhenOthersAreGreedy) {
+  // FIFO: Q_i = r_i / (mu - sum r); with sum r > N r_i the bound breaks.
+  Fifo fifo;
+  const std::vector<double> r{0.05, 0.6};  // N r_0 = 0.1 << sum r = 0.65
+  EXPECT_GT(theorem5_violation(fifo, r, 1.0), 0.0);
+}
+
+TEST(Theorem5Condition, FifoSatisfiesBoundUnderSymmetricLoad) {
+  // With equal rates FIFO and FS coincide, so no violation.
+  Fifo fifo;
+  const std::vector<double> r(3, 0.2);
+  EXPECT_NEAR(theorem5_violation(fifo, r, 1.0), 0.0, 1e-12);
+}
+
+TEST(Theorem5Condition, VacuousWhenEveryConnectionIsLarge) {
+  Fifo fifo;
+  // N r_i >= mu for all i: no constraint applies.
+  const std::vector<double> r{0.6, 0.7};
+  EXPECT_DOUBLE_EQ(theorem5_violation(fifo, r, 1.0), 0.0);
+}
+
+TEST(Theorem5Condition, InfiniteQueueBelowCapIsViolation) {
+  // At an overloaded FIFO gateway, even a small sender's queue diverges
+  // while N r_i < mu: an infinite violation.
+  Fifo fifo;
+  const std::vector<double> r{0.05, 1.2};
+  EXPECT_TRUE(std::isinf(theorem5_violation(fifo, r, 1.0)));
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for the congestion signalling functions B(C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/signal.hpp"
+
+namespace {
+
+using ffc::core::ExponentialSignal;
+using ffc::core::PowerSignal;
+using ffc::core::QuadraticSignal;
+using ffc::core::RationalSignal;
+using ffc::core::SignalFunction;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(RationalSignalTest, KnownValues) {
+  RationalSignal b;
+  EXPECT_DOUBLE_EQ(b(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(b(kInf), 1.0);
+}
+
+TEST(RationalSignalTest, ComposedWithGGivesUtilization) {
+  // b = B(g(rho)) = rho -- the identity the paper's examples exploit.
+  RationalSignal b;
+  for (double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(b(rho / (1 - rho)), rho, 1e-12);
+  }
+}
+
+TEST(QuadraticSignalTest, ComposedWithGGivesUtilizationSquared) {
+  // The §3.3 chaos example needs B(g(rho)) = rho^2.
+  QuadraticSignal b;
+  for (double rho : {0.2, 0.6, 0.95}) {
+    EXPECT_NEAR(b(rho / (1 - rho)), rho * rho, 1e-12);
+  }
+}
+
+TEST(ExponentialSignalTest, SaturatesAtOne) {
+  ExponentialSignal b(2.0);
+  EXPECT_DOUBLE_EQ(b(0.0), 0.0);
+  EXPECT_NEAR(b(1.0), 1.0 - std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(b(kInf), 1.0);
+  EXPECT_THROW(ExponentialSignal(0.0), std::invalid_argument);
+}
+
+TEST(PowerSignalTest, GeneralizesRationalAndQuadratic) {
+  PowerSignal p1(1.0), p2(2.0);
+  RationalSignal rational;
+  QuadraticSignal quadratic;
+  for (double c : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(p1(c), rational(c), 1e-12);
+    EXPECT_NEAR(p2(c), quadratic(c), 1e-12);
+  }
+  EXPECT_THROW(PowerSignal(-1.0), std::invalid_argument);
+}
+
+TEST(PowerSignalTest, ComposedWithGGivesUtilizationPower) {
+  PowerSignal b(3.0);
+  for (double rho : {0.3, 0.8}) {
+    EXPECT_NEAR(b(rho / (1 - rho)), rho * rho * rho, 1e-12);
+  }
+}
+
+TEST(BinarySignalTest, StepBehaviour) {
+  // Models the original DECbit / Chiu-Jain binary feedback; deliberately
+  // violates the strict-monotonicity axiom (documented), so it is NOT part
+  // of the SignalAxioms suite below.
+  ffc::core::BinarySignal b(2.0);
+  EXPECT_DOUBLE_EQ(b(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b(1.999), 0.0);
+  EXPECT_DOUBLE_EQ(b(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(b(std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_DOUBLE_EQ(b.inverse(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(b.inverse(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(b.inverse(1.0)));
+  EXPECT_THROW(ffc::core::BinarySignal(0.0), std::invalid_argument);
+}
+
+class SignalAxioms
+    : public ::testing::TestWithParam<std::shared_ptr<const SignalFunction>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSignals, SignalAxioms,
+    ::testing::Values(std::make_shared<RationalSignal>(),
+                      std::make_shared<QuadraticSignal>(),
+                      std::make_shared<ExponentialSignal>(0.7),
+                      std::make_shared<PowerSignal>(3.5)));
+
+TEST_P(SignalAxioms, BoundaryConditions) {
+  const SignalFunction& b = *GetParam();
+  EXPECT_DOUBLE_EQ(b(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b(kInf), 1.0);
+}
+
+TEST_P(SignalAxioms, StrictlyIncreasing) {
+  const SignalFunction& b = *GetParam();
+  double prev = -1.0;
+  for (double c = 0.0; c < 50.0; c += 0.37) {
+    const double value = b(c);
+    EXPECT_GT(value, prev);
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+    prev = value;
+  }
+}
+
+TEST_P(SignalAxioms, InverseRoundTrips) {
+  const SignalFunction& b = *GetParam();
+  for (double c : {0.0, 0.01, 0.5, 1.0, 3.0, 42.0}) {
+    const double signal = b(c);
+    if (signal > 1.0 - 1e-12) {
+      // The inverse is ill-conditioned once the signal saturates double
+      // precision; the contract is only that it stays huge.
+      EXPECT_GT(b.inverse(signal), 0.5 * c);
+      continue;
+    }
+    EXPECT_NEAR(b.inverse(signal), c, 1e-9 * (1.0 + c));
+  }
+  EXPECT_TRUE(std::isinf(b.inverse(1.0)));
+}
+
+TEST_P(SignalAxioms, RejectsBadArguments) {
+  const SignalFunction& b = *GetParam();
+  EXPECT_THROW(b(-0.1), std::invalid_argument);
+  EXPECT_THROW(b.inverse(-0.1), std::invalid_argument);
+  EXPECT_THROW(b.inverse(1.1), std::invalid_argument);
+}
+
+TEST_P(SignalAxioms, TimeScaleInvariantAsRequired) {
+  // §2.5 restriction 3: signals depend only on the congestion measure, which
+  // is itself a function of rate RATIOS; scaling C does change b, but the
+  // signal attached to a scaled network is unchanged because g(rho) is.
+  // Here we simply pin the contract: b is a pure function of C.
+  const SignalFunction& b = *GetParam();
+  EXPECT_DOUBLE_EQ(b(2.0), b(2.0));
+}
+
+}  // namespace

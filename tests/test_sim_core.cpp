@@ -1,0 +1,219 @@
+// Tests for the discrete-event core: the calendar, and the FIFO /
+// preemptive-priority / Fair Share servers against their closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "queueing/fair_share.hpp"
+#include "queueing/feasibility.hpp"
+#include "queueing/priority.hpp"
+#include "sim/server.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using ffc::queueing::g;
+using ffc::sim::FairShareServer;
+using ffc::sim::FifoServer;
+using ffc::sim::Packet;
+using ffc::sim::PriorityServer;
+using ffc::sim::Simulator;
+using ffc::stats::Xoshiro256;
+
+TEST(SimulatorCore, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  while (sim.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorCore, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  while (sim.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorCore, RunUntilLeavesClockAtTarget) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulatorCore, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorCore, Validation) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.run_until(1.0), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(1.0, nullptr), std::invalid_argument);
+}
+
+// Drives `server` with independent Poisson arrivals (connection i sends
+// packets of priority class i, which only the priority server looks at) and
+// returns per-connection mean occupancy after a warm-up.
+std::vector<double> drive_server(Simulator& sim, Xoshiro256& rng,
+                                 ffc::sim::GatewayServer& server,
+                                 const std::vector<double>& rates,
+                                 double horizon) {
+  std::vector<Xoshiro256> srcs;
+  for (std::size_t i = 0; i < rates.size(); ++i) srcs.push_back(rng.split());
+  std::function<void(std::size_t)> arrive = [&](std::size_t i) {
+    Packet p;
+    p.connection = i;
+    p.priority_class = i;
+    p.created = sim.now();
+    server.arrival(std::move(p), i);
+    sim.schedule_in(srcs[i].exponential(rates[i]), [&, i] { arrive(i); });
+  };
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] > 0.0) {
+      sim.schedule_in(srcs[i].exponential(rates[i]), [&, i] { arrive(i); });
+    }
+  }
+  sim.run_until(sim.now() + horizon * 0.2);
+  server.reset_metrics();
+  sim.run_until(sim.now() + horizon * 0.8);
+  server.flush_metrics();
+  std::vector<double> occ(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    occ[i] = server.mean_occupancy(i);
+  }
+  return occ;
+}
+
+template <typename Server>
+std::vector<double> measure_occupancy(const std::vector<double>& rates,
+                                      double mu, double horizon,
+                                      std::uint64_t seed) {
+  Simulator sim;
+  Xoshiro256 rng(seed);
+  std::uint64_t delivered = 0;
+  Server server(sim, mu, rates.size(), rng.split(),
+                [&](Packet) { ++delivered; });
+  if constexpr (std::is_same_v<Server, FairShareServer>) {
+    server.set_rates(rates);
+  }
+  const auto occ = drive_server(sim, rng, server, rates, horizon);
+  EXPECT_GT(delivered, 0u);
+  return occ;
+}
+
+std::vector<double> measure_priority_occupancy(
+    const std::vector<double>& rates, double mu, double horizon,
+    std::uint64_t seed) {
+  Simulator sim;
+  Xoshiro256 rng(seed);
+  PriorityServer server(sim, mu, rates.size(), rates.size(), rng.split(),
+                        [](Packet) {});
+  return drive_server(sim, rng, server, rates, horizon);
+}
+
+TEST(FifoServerSim, MatchesMm1Occupancy) {
+  // Single connection at rho = 0.5: L = 1.
+  const auto occ =
+      measure_occupancy<FifoServer>({0.5}, 1.0, 60000.0, 12345);
+  EXPECT_NEAR(occ[0], 1.0, 0.08);
+}
+
+TEST(FifoServerSim, SharesOccupancyProportionally) {
+  const std::vector<double> rates{0.2, 0.4};
+  const auto occ =
+      measure_occupancy<FifoServer>(rates, 1.0, 60000.0, 777);
+  EXPECT_NEAR(occ[0], 0.2 / 0.4, 0.08);
+  EXPECT_NEAR(occ[1], 0.4 / 0.4, 0.12);
+}
+
+TEST(PriorityServerSim, MatchesPreemptiveAnalytics) {
+  const std::vector<double> rates{0.3, 0.45};
+  const auto occ = measure_priority_occupancy(rates, 1.0, 60000.0, 999);
+  const auto expected =
+      ffc::queueing::preemptive_priority_occupancy(rates, 1.0);
+  EXPECT_NEAR(occ[0], expected[0], 0.05);
+  EXPECT_NEAR(occ[1], expected[1], 0.25);
+}
+
+TEST(PriorityServerSim, HighPriorityUnaffectedByLowLoad) {
+  // Class 0 alone vs class 0 + heavy class 1: occupancy of class 0 must not
+  // change (preemption shields it completely).
+  const auto alone = measure_priority_occupancy({0.4, 0.0}, 1.0, 60000.0, 31);
+  const auto shared =
+      measure_priority_occupancy({0.4, 0.55}, 1.0, 60000.0, 31);
+  EXPECT_NEAR(alone[0], shared[0], 0.1);
+  EXPECT_NEAR(alone[0], g(0.4), 0.08);
+}
+
+TEST(FairShareServerSim, MatchesFairShareClosedForm) {
+  const std::vector<double> rates{0.1, 0.25, 0.4};
+  const auto occ =
+      measure_occupancy<FairShareServer>(rates, 1.0, 80000.0, 4242);
+  ffc::queueing::FairShare fs;
+  const auto expected = fs.queue_lengths(rates, 1.0);
+  EXPECT_NEAR(occ[0], expected[0], 0.05);
+  EXPECT_NEAR(occ[1], expected[1], 0.10);
+  EXPECT_NEAR(occ[2], expected[2], 0.5);
+}
+
+TEST(FairShareServerSim, ProtectsSmallSenderUnderOverload) {
+  // Total load 1.2 > 1; the small sender's analytic queue is finite and the
+  // simulated occupancy must stay near it rather than blowing up.
+  const std::vector<double> rates{0.1, 0.55, 0.55};
+  const auto occ =
+      measure_occupancy<FairShareServer>(rates, 1.0, 40000.0, 5150);
+  ffc::queueing::FairShare fs;
+  const auto expected = fs.queue_lengths(rates, 1.0);
+  ASSERT_TRUE(std::isfinite(expected[0]));
+  EXPECT_NEAR(occ[0], expected[0], 0.06);
+  // The greedy senders' queues grow with time (no finite mean).
+  EXPECT_GT(occ[1] + occ[2], 50.0);
+}
+
+TEST(FairShareServerSim, RequiresRatesBeforeArrivals) {
+  Simulator sim;
+  Xoshiro256 rng(1);
+  FairShareServer server(sim, 1.0, 2, rng, [](Packet) {});
+  Packet p;
+  EXPECT_THROW(server.arrival(std::move(p), 0), std::logic_error);
+}
+
+TEST(ServerValidation, BadConstruction) {
+  Simulator sim;
+  Xoshiro256 rng(1);
+  EXPECT_THROW(FifoServer(sim, 0.0, 1, rng, [](Packet) {}),
+               std::invalid_argument);
+  EXPECT_THROW(FifoServer(sim, 1.0, 1, rng, nullptr), std::invalid_argument);
+  EXPECT_THROW(PriorityServer(sim, 1.0, 1, 0, rng, [](Packet) {}),
+               std::invalid_argument);
+}
+
+}  // namespace

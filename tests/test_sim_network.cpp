@@ -1,0 +1,220 @@
+// Integration tests: the packet-level NetworkSimulator against the analytic
+// queueing model (the §2 modelling approximations, quantified).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "network/builders.hpp"
+#include "queueing/fair_share.hpp"
+#include "queueing/fifo.hpp"
+#include "sim/network_sim.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using ffc::network::Connection;
+using ffc::network::Topology;
+using ffc::sim::NetworkSimulator;
+using ffc::sim::SimDiscipline;
+
+TEST(NetworkSim, SingleGatewayFifoMatchesAnalytics) {
+  auto topo = ffc::network::single_bottleneck(2, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 808);
+  const std::vector<double> rates{0.2, 0.4};
+  sim.set_rates(rates);
+  sim.run_for(10000.0);
+  sim.reset_metrics();
+  sim.run_for(50000.0);
+
+  ffc::queueing::Fifo fifo;
+  const auto expected = fifo.queue_lengths(rates, 1.0);
+  EXPECT_NEAR(sim.mean_queue(0, 0), expected[0], 0.07);
+  EXPECT_NEAR(sim.mean_queue(0, 1), expected[1], 0.12);
+}
+
+TEST(NetworkSim, SingleGatewayFairShareMatchesAnalytics) {
+  auto topo = ffc::network::single_bottleneck(3, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::FairShare, 909);
+  const std::vector<double> rates{0.1, 0.25, 0.4};
+  sim.set_rates(rates);
+  sim.run_for(10000.0);
+  sim.reset_metrics();
+  sim.run_for(60000.0);
+
+  ffc::queueing::FairShare fs;
+  const auto expected = fs.queue_lengths(rates, 1.0);
+  EXPECT_NEAR(sim.mean_queue(0, 0), expected[0], 0.05);
+  EXPECT_NEAR(sim.mean_queue(0, 1), expected[1], 0.1);
+  EXPECT_NEAR(sim.mean_queue(0, 2), expected[2], 0.5);
+}
+
+TEST(NetworkSim, ThroughputMatchesOfferedLoad) {
+  auto topo = ffc::network::single_bottleneck(2, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 117);
+  sim.set_rates({0.25, 0.35});
+  sim.run_for(5000.0);
+  sim.reset_metrics();
+  sim.run_for(40000.0);
+  EXPECT_NEAR(sim.throughput(0), 0.25, 0.01);
+  EXPECT_NEAR(sim.throughput(1), 0.35, 0.01);
+}
+
+TEST(NetworkSim, TandemDelayIncludesLatenciesAndBothQueues) {
+  // Two gateways in series with latencies; Kleinrock independence predicts
+  // d = l1 + l2 + 1/(mu1 - r) + 1/(mu2 - r).
+  Topology topo({{1.0, 0.5}, {1.0, 0.25}}, {Connection{{0, 1}}});
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 2024);
+  sim.set_rates({0.5});
+  sim.run_for(5000.0);
+  sim.reset_metrics();
+  sim.run_for(60000.0);
+  const double expected = 0.75 + 2.0 + 2.0;
+  EXPECT_NEAR(sim.mean_delay(0), expected, 0.15);
+}
+
+TEST(NetworkSim, SecondHopSeesPoissonLikeTraffic) {
+  // The paper assumes per-connection departures stay Poisson. For FIFO
+  // M/M/1 this is Burke's theorem, so the downstream queue must match M/M/1
+  // analytics too.
+  Topology topo({{1.0, 0.0}, {0.8, 0.0}}, {Connection{{0, 1}}});
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 55);
+  sim.set_rates({0.4});
+  sim.run_for(5000.0);
+  sim.reset_metrics();
+  sim.run_for(60000.0);
+  EXPECT_NEAR(sim.mean_queue(1, 0), (0.4 / 0.8) / (1.0 - 0.4 / 0.8), 0.12);
+}
+
+TEST(NetworkSim, CrossTrafficOnlyMeetsAtSharedGateway) {
+  const auto topo = ffc::network::parking_lot(2, 1, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 66);
+  // Connection 0 spans both hops; 1 and 2 are single-hop.
+  sim.set_rates({0.3, 0.3, 0.3});
+  sim.run_for(5000.0);
+  sim.reset_metrics();
+  sim.run_for(40000.0);
+  // Each gateway carries load 0.6; the long connection holds half of the
+  // occupancy at each.
+  EXPECT_NEAR(sim.mean_queue(0, 0), 0.3 / 0.4, 0.15);
+  EXPECT_NEAR(sim.mean_queue(1, 0), 0.3 / 0.4, 0.15);
+}
+
+TEST(NetworkSim, RandomTopologyMatchesJacksonProductForm) {
+  // Open networks of FIFO M/M/1 queues have product-form stationary
+  // distributions (Jackson): every gateway behaves as an independent M/M/1
+  // at its total arrival rate. Validate on a random multi-hop topology.
+  ffc::stats::Xoshiro256 rng(20262026);
+  ffc::network::RandomTopologyParams params;
+  params.num_gateways = 4;
+  params.num_connections = 6;
+  params.max_path_length = 3;
+  params.mu_min = 1.0;
+  params.mu_max = 2.0;
+  const auto topo = ffc::network::random_topology(rng, params);
+
+  // Rates at 50% of each gateway's fair capacity to stay comfortably stable.
+  std::vector<double> rates(topo.num_connections());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    double tightest = 1e9;
+    for (auto a : topo.path(i)) {
+      tightest = std::min(tightest, topo.gateway(a).mu /
+                                        static_cast<double>(topo.fan_in(a)));
+    }
+    rates[i] = 0.5 * tightest;
+  }
+
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 515253);
+  sim.set_rates(rates);
+  sim.run_for(10000.0);
+  sim.reset_metrics();
+  sim.run_for(60000.0);
+
+  for (std::size_t a = 0; a < topo.num_gateways(); ++a) {
+    double lambda = 0.0;
+    for (auto j : topo.connections_through(a)) lambda += rates[j];
+    const double rho = lambda / topo.gateway(a).mu;
+    ASSERT_LT(rho, 1.0);
+    const double expected = rho / (1.0 - rho);
+    EXPECT_NEAR(sim.mean_total_queue(a), expected,
+                0.08 + 0.12 * expected)
+        << "gateway " << a << " deviates from the Jackson prediction";
+  }
+}
+
+TEST(NetworkSim, FifoSojournDistributionIsExponential) {
+  // Not just the mean: the WHOLE per-packet delay distribution of an M/M/1
+  // FIFO gateway is Exp(mu - lambda). One-sample KS test at (a loosened)
+  // 5% level over tens of thousands of packets.
+  auto topo = ffc::network::single_bottleneck(1, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 271828);
+  sim.set_rates({0.6});
+  sim.run_for(5000.0);
+  sim.reset_metrics();
+  sim.run_for(60000.0);
+  const auto& samples = sim.delay_samples(0);
+  ASSERT_GT(samples.size(), 10000u);
+  const double rate = 1.0 - 0.6;
+  const double d = ffc::stats::ks_statistic(
+      samples, [rate](double x) { return 1.0 - std::exp(-rate * x); });
+  // Consecutive sojourn times are autocorrelated, so allow a few times the
+  // i.i.d. critical value; a wrong distribution fails by orders of
+  // magnitude (see KsStatistic.RejectsWrongDistribution).
+  EXPECT_LT(d, 6.0 * ffc::stats::ks_critical_value_5pct(samples.size()));
+}
+
+TEST(NetworkSim, DelaySamplesResetWithMetrics) {
+  auto topo = ffc::network::single_bottleneck(1, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 3);
+  sim.set_rates({0.5});
+  sim.run_for(1000.0);
+  ASSERT_FALSE(sim.delay_samples(0).empty());
+  sim.reset_metrics();
+  EXPECT_TRUE(sim.delay_samples(0).empty());
+}
+
+TEST(NetworkSim, SetRatesMidRunRestartsSources) {
+  auto topo = ffc::network::single_bottleneck(1, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 4);
+  sim.set_rates({0.8});
+  sim.run_for(5000.0);
+  sim.set_rates({0.2});
+  sim.reset_metrics();
+  sim.run_for(30000.0);
+  EXPECT_NEAR(sim.throughput(0), 0.2, 0.02);
+}
+
+TEST(NetworkSim, ZeroRateConnectionSendsNothing) {
+  auto topo = ffc::network::single_bottleneck(2, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 5);
+  sim.set_rates({0.0, 0.3});
+  sim.run_for(10000.0);
+  EXPECT_EQ(sim.delivered(0), 0u);
+  EXPECT_GT(sim.delivered(1), 0u);
+  EXPECT_DOUBLE_EQ(sim.mean_queue(0, 0), 0.0);
+}
+
+TEST(NetworkSim, DeterministicForFixedSeed) {
+  auto topo = ffc::network::single_bottleneck(2, 1.0);
+  NetworkSimulator a(topo, SimDiscipline::FairShare, 31337);
+  NetworkSimulator b(topo, SimDiscipline::FairShare, 31337);
+  for (auto* sim : {&a, &b}) {
+    sim->set_rates({0.2, 0.3});
+    sim->run_for(1000.0);
+  }
+  EXPECT_EQ(a.delivered(0), b.delivered(0));
+  EXPECT_EQ(a.delivered(1), b.delivered(1));
+  EXPECT_DOUBLE_EQ(a.mean_queue(0, 1), b.mean_queue(0, 1));
+}
+
+TEST(NetworkSim, Validation) {
+  auto topo = ffc::network::single_bottleneck(1, 1.0);
+  NetworkSimulator sim(topo, SimDiscipline::Fifo, 1);
+  EXPECT_THROW(sim.set_rates({0.1, 0.2}), std::invalid_argument);
+  EXPECT_THROW(sim.set_rates({-0.1}), std::invalid_argument);
+  EXPECT_THROW(sim.run_for(-1.0), std::invalid_argument);
+  EXPECT_THROW(sim.mean_queue(5, 0), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Tests for the numerical Jacobian and the stability analyses of §3.3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/stability.hpp"
+#include "core/steady_state.hpp"
+#include "helpers.hpp"
+#include "network/builders.hpp"
+
+namespace {
+
+using ffc::core::analyze_stability;
+using ffc::core::FeedbackStyle;
+using ffc::core::is_triangular_under_rate_order;
+using ffc::core::jacobian;
+using ffc::core::JacobianOptions;
+namespace th = ffc::testing;
+
+TEST(Jacobian, MatchesClosedFormForAggregateAdditive) {
+  // Single gateway, mu=1, FIFO, aggregate, rational signal, f = eta(beta-b):
+  // b = sum r, so DF_ij = delta_ij - eta exactly (§3.3's example).
+  const double eta = 0.3;
+  auto model = th::single_gateway_model(3, th::fifo(),
+                                        FeedbackStyle::Aggregate, eta, 0.5);
+  const auto df = jacobian(model, {0.1, 0.2, 0.15});
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double expected = (i == j ? 1.0 : 0.0) - eta;
+      EXPECT_NEAR(df(i, j), expected, 1e-6);
+    }
+  }
+}
+
+TEST(Jacobian, SchemesAgreeAwayFromKinks) {
+  auto model = th::single_gateway_model(2, th::fair_share(),
+                                        FeedbackStyle::Individual, 0.1, 0.5);
+  const std::vector<double> r{0.1, 0.3};
+  JacobianOptions forward;
+  forward.scheme = JacobianOptions::Scheme::Forward;
+  JacobianOptions backward;
+  backward.scheme = JacobianOptions::Scheme::Backward;
+  const auto central = jacobian(model, r);
+  const auto fwd = jacobian(model, r, forward);
+  const auto bwd = jacobian(model, r, backward);
+  EXPECT_LT(ffc::linalg::Matrix::max_abs_diff(central, fwd), 1e-4);
+  EXPECT_LT(ffc::linalg::Matrix::max_abs_diff(central, bwd), 1e-4);
+}
+
+TEST(Jacobian, SizeMismatchThrows) {
+  auto model = th::single_gateway_model(2, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  EXPECT_THROW(jacobian(model, {0.1}), std::invalid_argument);
+}
+
+TEST(Stability, AggregateUnilateralButNotSystemic) {
+  // The paper's §3.3 example: eta < 2 gives |DF_ii| = |1 - eta| < 1 for all
+  // i, yet the leading eigenvalue 1 - eta N is unstable for N > 2/eta.
+  const double eta = 0.5;
+  const std::size_t n = 8;  // eta N = 4 >> 2
+  auto model = th::single_gateway_model(n, th::fifo(),
+                                        FeedbackStyle::Aggregate, eta, 0.5);
+  const std::vector<double> r_ss(n, 0.5 / n);
+  const auto report = analyze_stability(model, r_ss);
+  EXPECT_TRUE(report.unilaterally_stable);
+  EXPECT_FALSE(report.systemically_stable);
+  EXPECT_NEAR(report.spectral_radius, std::fabs(1.0 - eta * n), 1e-4);
+  // The N-1 manifold directions carry eigenvalue exactly 1.
+  EXPECT_EQ(report.unit_eigenvalues, n - 1);
+}
+
+TEST(Stability, AggregateSmallNetworkFullyStable) {
+  const double eta = 0.5;
+  const std::size_t n = 3;  // eta N = 1.5 < 2
+  auto model = th::single_gateway_model(n, th::fifo(),
+                                        FeedbackStyle::Aggregate, eta, 0.5);
+  const std::vector<double> r_ss(n, 0.5 / n);
+  const auto report = analyze_stability(model, r_ss);
+  EXPECT_TRUE(report.unilaterally_stable);
+  EXPECT_TRUE(report.stable_modulo_manifold);
+  EXPECT_NEAR(report.reduced_spectral_radius, std::fabs(1.0 - eta * n),
+              1e-4);
+}
+
+TEST(Stability, FairShareIndividualJacobianIsTriangular) {
+  auto model = th::single_gateway_model(4, th::fair_share(),
+                                        FeedbackStyle::Individual, 0.1, 0.5);
+  // Analyze at a NON-steady point with distinct rates, where triangularity
+  // is a structural property of Fair Share (Q_i ignores larger rates).
+  const std::vector<double> r{0.05, 0.1, 0.2, 0.3};
+  const auto df = jacobian(model, r);
+  EXPECT_TRUE(is_triangular_under_rate_order(df, r, 1e-5));
+}
+
+TEST(Stability, FifoIndividualJacobianIsNotTriangular) {
+  auto model = th::single_gateway_model(3, th::fifo(),
+                                        FeedbackStyle::Individual, 0.1, 0.5);
+  const std::vector<double> r{0.05, 0.15, 0.3};
+  const auto df = jacobian(model, r);
+  EXPECT_FALSE(is_triangular_under_rate_order(df, r, 1e-5));
+}
+
+TEST(Stability, FairShareEigenvaluesAreDiagonal) {
+  auto model = th::single_gateway_model(4, th::fair_share(),
+                                        FeedbackStyle::Individual, 0.3, 0.5);
+  const std::vector<double> r{0.04, 0.09, 0.16, 0.21};
+  const auto report = analyze_stability(model, r);
+  // Triangular matrix: spectral radius equals max |diagonal|.
+  double max_diag = 0.0;
+  for (double d : report.diagonal) max_diag = std::max(max_diag, std::fabs(d));
+  EXPECT_NEAR(report.spectral_radius, max_diag, 1e-4);
+}
+
+TEST(Stability, TriangularityCheckerToleratesTies) {
+  ffc::linalg::Matrix jac{{1.0, 0.5}, {0.5, 1.0}};
+  // Equal rates: the pair is a tie group, exempt from the triangularity
+  // requirement.
+  EXPECT_TRUE(is_triangular_under_rate_order(jac, {0.2, 0.2}, 1e-9));
+  EXPECT_FALSE(is_triangular_under_rate_order(jac, {0.1, 0.2}, 1e-9));
+}
+
+TEST(Stability, TriangularityCheckerValidatesShape) {
+  ffc::linalg::Matrix jac(2, 3);
+  EXPECT_THROW(is_triangular_under_rate_order(jac, {0.1, 0.2}, 1e-9),
+               std::invalid_argument);
+}
+
+}  // namespace
