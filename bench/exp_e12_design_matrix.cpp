@@ -13,14 +13,21 @@
 // low-rate senders, not just instantaneous equality.)
 //
 // Every cell is measured by core::evaluate_design (see
-// src/core/design_eval.hpp for the procedures). Exit code 0 iff the full
-// matrix matches the paper's table above.
+// src/core/design_eval.hpp for the procedures). The four designs are
+// independent, so the rows run through exec::SweepRunner (--jobs N), each
+// with its own derived RNG seed; results return in row order, so the table
+// is identical at any thread count. Exit code 0 iff the full matrix matches
+// the paper's table above.
 #include <cstdlib>
 #include <iostream>
+#include <iterator>
 #include <memory>
 
 #include "core/design_eval.hpp"
 #include "core/ffc.hpp"
+#include "exec/cli.hpp"
+#include "exec/param_grid.hpp"
+#include "exec/sweep_runner.hpp"
 #include "report/table.hpp"
 
 namespace {
@@ -40,7 +47,9 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = ffc::exec::parse_sweep_cli(argc, argv);
+  if (cli.help) return EXIT_SUCCESS;
   std::cout << "== E12: the §5 design matrix, measured ==\n\n";
 
   const Row rows[] = {
@@ -60,10 +69,22 @@ int main() {
   table.set_title(
       "All cells measured by core::evaluate_design (procedures in "
       "src/core/design_eval.hpp)");
+  exec::ParamGrid grid;
+  grid.axis("design", {0.0, 1.0, 2.0, 3.0});
+  exec::SweepRunner runner(cli.options);
+  const auto measured = runner.run(
+      grid, [&rows](const exec::GridPoint& p, std::uint64_t seed) {
+        const auto& row = rows[p.index()];
+        core::DesignEvalOptions options;
+        options.seed = seed;
+        return core::evaluate_design(row.style, row.discipline, options);
+      });
+  runner.last_report().print(std::cerr);
+
   bool ok = true;
-  for (const auto& row : rows) {
-    const DesignGoals goals = core::evaluate_design(row.style,
-                                                    row.discipline);
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const auto& row = rows[i];
+    const DesignGoals& goals = measured[i];
     const bool matches =
         goals.tsi == row.expected.tsi &&
         goals.guaranteed_fair == row.expected.guaranteed_fair &&

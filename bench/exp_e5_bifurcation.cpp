@@ -8,6 +8,11 @@
 // Output: the transition table over eta (N = 8 fixed), an ASCII bifurcation
 // diagram, and the Lyapunov exponent curve.
 //
+// The eta scan runs through exec::SweepRunner: each grid point classifies
+// one map independently, --jobs N fans them across N threads, and results
+// come back in grid order, so stdout and any FFC_CSV dump are byte-identical
+// at every --jobs value (sweep timing goes to stderr).
+//
 // Exit code 0 iff the scan shows, in order: fixed point -> period 2 ->
 // period 4 -> chaos (some eta with positive Lyapunov exponent).
 #include <cmath>
@@ -21,6 +26,9 @@
 #include "core/onedmap.hpp"
 #include "core/rate_adjustment.hpp"
 #include "core/signal.hpp"
+#include "exec/cli.hpp"
+#include "exec/param_grid.hpp"
+#include "exec/sweep_runner.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
@@ -50,7 +58,9 @@ const char* kind_name(ScalarOrbitKind kind, std::size_t period) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = ffc::exec::parse_sweep_cli(argc, argv);
+  if (cli.help) return EXIT_SUCCESS;
   std::cout << "== E5: route to chaos of symmetric aggregate feedback ==\n"
             << "B(C) = (C/(1+C))^2, f = eta(beta - b), beta = 0.5, N = 8, "
                "mu = 1\n"
@@ -70,9 +80,22 @@ int main() {
   bool seen_fixed = false, seen_p2 = false, seen_p4 = false,
        seen_chaos = false;
   bool order_ok = true;
-  std::vector<double> etas;
-  for (double eta = 0.05; eta <= 0.2605; eta += 0.0025) etas.push_back(eta);
-  const auto points = core::bifurcation_scan(family, etas, 0.05, 4000, 1024);
+  exec::ParamGrid grid;
+  grid.axis("eta", exec::ParamGrid::arange(0.05, 0.2605, 0.0025));
+  exec::SweepRunner runner(cli.options);
+  // The map iteration is deterministic (no RNG draws), so the per-task seed
+  // is unused here -- parallelism alone motivates the sweep.
+  const auto points = runner.run(
+      grid, [&family](const exec::GridPoint& p, std::uint64_t /*seed*/) {
+        const double eta = p.get("eta");
+        const core::OneDMap map = family(eta);
+        core::BifurcationPoint point;
+        point.parameter = eta;
+        point.orbit = map.classify(0.05, 4000, 1024);
+        point.lyapunov = map.lyapunov(0.05, 4000, 4096);
+        return point;
+      });
+  runner.last_report().print(std::cerr);
   for (const auto& p : points) {
     const auto& orbit = p.orbit;
     const bool chaotic =

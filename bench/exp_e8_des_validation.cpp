@@ -9,13 +9,24 @@
 //   (3) Closed loop: epoch-based feedback over the simulator vs the
 //       synchronous analytic iteration -- rate trajectories side by side.
 //
+// The five packet-level workloads are independent simulations, so they run
+// as one exec::SweepRunner sweep: --jobs N fans them across threads, each
+// with its own seed derived from (--seed, workload index), and measurements
+// come back in workload order -- stdout is byte-identical at any --jobs
+// (sweep timing goes to stderr).
+//
 // Exit code 0 iff simulation matches analytics within the stated bands.
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "core/ffc.hpp"
+#include "exec/cli.hpp"
+#include "exec/param_grid.hpp"
+#include "exec/sweep_runner.hpp"
 #include "report/table.hpp"
 #include "sim/feedback_sim.hpp"
 #include "sim/network_sim.hpp"
@@ -31,40 +42,125 @@ bool within(double measured, double expected, double band) {
   return std::fabs(measured - expected) <= band;
 }
 
+// The workloads of the sweep, in grid order.
+enum Workload : std::size_t {
+  kOpenFifo = 0,
+  kOpenFairShare = 1,
+  kOverload = 2,
+  kTandem = 3,
+  kClosedLoop = 4,
+  kNumWorkloads = 5,
+};
+
+constexpr std::size_t kClosedLoopEpochs = 30;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = exec::parse_sweep_cli(argc, argv, /*default_seed=*/2025);
+  if (cli.help) return EXIT_SUCCESS;
   std::cout << "== E8: discrete-event validation of the analytic model ==\n";
   bool ok = true;
 
+  const std::vector<double> open_rates{0.1, 0.25, 0.4};
+  const std::vector<double> overload_rates{0.1, 0.55, 0.55};  // total > mu
+  const std::vector<double> r0{0.05, 0.2, 0.35};
+  const std::size_t n_loop = r0.size();
+  std::vector<std::shared_ptr<const core::RateAdjustment>> adjusters(
+      n_loop, std::make_shared<core::AdditiveTsi>(0.15, 0.5));
+
+  // ---- run all five packet-level workloads as one sweep -------------------
+  // Each task returns its measurements as a flat vector; analysis and table
+  // rendering happen afterwards, in order, on the main thread.
+  exec::ParamGrid grid;
+  grid.axis("workload", exec::ParamGrid::linspace(0.0, kNumWorkloads - 1,
+                                                  kNumWorkloads));
+  exec::SweepRunner runner(cli.options);
+  const auto measurements = runner.run(
+      grid,
+      [&](const exec::GridPoint& p, std::uint64_t seed)
+          -> std::vector<double> {
+        switch (p.index()) {
+          case kOpenFifo:
+          case kOpenFairShare: {
+            const auto kind = p.index() == kOpenFifo
+                                  ? sim::SimDiscipline::Fifo
+                                  : sim::SimDiscipline::FairShare;
+            sim::NetworkSimulator netsim(network::single_bottleneck(3, 1.0),
+                                         kind, seed);
+            netsim.set_rates(open_rates);
+            netsim.run_for(15000.0);
+            netsim.reset_metrics();
+            netsim.run_for(80000.0);
+            std::vector<double> q;
+            for (std::size_t i = 0; i < open_rates.size(); ++i) {
+              q.push_back(netsim.mean_queue(0, i));
+            }
+            return q;
+          }
+          case kOverload: {
+            sim::NetworkSimulator netsim(network::single_bottleneck(3, 1.0),
+                                         sim::SimDiscipline::FairShare, seed);
+            netsim.set_rates(overload_rates);
+            netsim.run_for(5000.0);
+            netsim.reset_metrics();
+            netsim.run_for(40000.0);
+            return {netsim.mean_queue(0, 0)};
+          }
+          case kTandem: {
+            network::Topology topo({{1.0, 0.5}, {0.8, 0.25}},
+                                   {network::Connection{{0, 1}}});
+            sim::NetworkSimulator netsim(topo, sim::SimDiscipline::Fifo,
+                                         seed);
+            netsim.set_rates({0.4});
+            netsim.run_for(10000.0);
+            netsim.reset_metrics();
+            netsim.run_for(80000.0);
+            return {netsim.mean_queue(1, 0), netsim.mean_delay(0)};
+          }
+          case kClosedLoop: {
+            sim::ClosedLoopOptions opts;
+            opts.epoch_duration = 4000.0;
+            sim::ClosedLoopSimulator loop(
+                network::single_bottleneck(n_loop, 1.0),
+                sim::SimDiscipline::FairShare,
+                std::make_shared<core::RationalSignal>(),
+                core::FeedbackStyle::Individual, adjusters, seed, opts);
+            const auto records = loop.run(r0, kClosedLoopEpochs);
+            // Flatten: per-epoch (r_0, r_2) pairs, then the final rates.
+            std::vector<double> out;
+            for (const auto& record : records) {
+              out.push_back(record.rates[0]);
+              out.push_back(record.rates[2]);
+            }
+            for (double r : loop.rates()) out.push_back(r);
+            return out;
+          }
+        }
+        return {};
+      });
+  runner.last_report().print(std::cerr);
+
   // ---- (1) open-loop queue validation ------------------------------------
   {
-    const std::vector<double> rates{0.1, 0.25, 0.4};
     TextTable table({"discipline", "connection", "rate", "analytic Q_i",
                      "simulated Q_i", "match?"});
     table.set_title("\nSingle gateway (mu = 1), open loop, T = 80000");
-    for (auto kind : {sim::SimDiscipline::Fifo, sim::SimDiscipline::FairShare}) {
-      const bool is_fifo = kind == sim::SimDiscipline::Fifo;
+    for (auto workload : {kOpenFifo, kOpenFairShare}) {
       std::shared_ptr<const queueing::ServiceDiscipline> analytic;
-      if (is_fifo) {
+      if (workload == kOpenFifo) {
         analytic = std::make_shared<queueing::Fifo>();
       } else {
         analytic = std::make_shared<queueing::FairShare>();
       }
-      sim::NetworkSimulator netsim(network::single_bottleneck(3, 1.0), kind,
-                                   20252025);
-      netsim.set_rates(rates);
-      netsim.run_for(15000.0);
-      netsim.reset_metrics();
-      netsim.run_for(80000.0);
-      const auto expected = analytic->queue_lengths(rates, 1.0);
-      for (std::size_t i = 0; i < rates.size(); ++i) {
-        const double measured = netsim.mean_queue(0, i);
+      const auto expected = analytic->queue_lengths(open_rates, 1.0);
+      for (std::size_t i = 0; i < open_rates.size(); ++i) {
+        const double measured = measurements[workload][i];
         const bool match = within(measured, expected[i],
                                   0.05 + 0.15 * expected[i]);
         ok = ok && match;
         table.add_row({std::string(analytic->name()), std::to_string(i),
-                       fmt(rates[i], 2), fmt(expected[i], 4),
+                       fmt(open_rates[i], 2), fmt(expected[i], 4),
                        fmt(measured, 4), fmt_bool(match)});
       }
     }
@@ -73,16 +169,9 @@ int main() {
 
   // ---- (1b) overload protection -------------------------------------------
   {
-    const std::vector<double> rates{0.1, 0.55, 0.55};  // total 1.2 > mu
     queueing::FairShare fs;
-    const double expected = fs.queue_lengths(rates, 1.0)[0];
-    sim::NetworkSimulator netsim(network::single_bottleneck(3, 1.0),
-                                 sim::SimDiscipline::FairShare, 31337);
-    netsim.set_rates(rates);
-    netsim.run_for(5000.0);
-    netsim.reset_metrics();
-    netsim.run_for(40000.0);
-    const double measured = netsim.mean_queue(0, 0);
+    const double expected = fs.queue_lengths(overload_rates, 1.0)[0];
+    const double measured = measurements[kOverload][0];
     const bool match = within(measured, expected, 0.05);
     ok = ok && match;
     std::cout << "\nOverloaded gateway (load 1.2): small sender's Q under "
@@ -94,18 +183,11 @@ int main() {
 
   // ---- (2) tandem network --------------------------------------------------
   {
-    network::Topology topo({{1.0, 0.5}, {0.8, 0.25}},
-                           {network::Connection{{0, 1}}});
-    sim::NetworkSimulator netsim(topo, sim::SimDiscipline::Fifo, 4711);
-    netsim.set_rates({0.4});
-    netsim.run_for(10000.0);
-    netsim.reset_metrics();
-    netsim.run_for(80000.0);
     const double q2_expected = (0.4 / 0.8) / (1.0 - 0.4 / 0.8);
     const double d_expected =
         0.75 + 1.0 / (1.0 - 0.4) + 1.0 / (0.8 - 0.4);
-    const double q2 = netsim.mean_queue(1, 0);
-    const double d = netsim.mean_delay(0);
+    const double q2 = measurements[kTandem][0];
+    const double d = measurements[kTandem][1];
     const bool q_ok = within(q2, q2_expected, 0.12);
     const bool d_ok = within(d, d_expected, 0.2);
     ok = ok && q_ok && d_ok;
@@ -121,43 +203,33 @@ int main() {
 
   // ---- (3) closed loop ------------------------------------------------------
   {
-    const std::size_t n = 3;
-    const auto topo = network::single_bottleneck(n, 1.0);
-    std::vector<std::shared_ptr<const core::RateAdjustment>> adjusters(
-        n, std::make_shared<core::AdditiveTsi>(0.15, 0.5));
-    sim::ClosedLoopOptions opts;
-    opts.epoch_duration = 4000.0;
-    sim::ClosedLoopSimulator loop(topo, sim::SimDiscipline::FairShare,
-                                  std::make_shared<core::RationalSignal>(),
-                                  core::FeedbackStyle::Individual, adjusters,
-                                  8888, opts);
-    const std::vector<double> r0{0.05, 0.2, 0.35};
-    const auto records = loop.run(r0, 30);
-
-    core::FlowControlModel model(topo, std::make_shared<queueing::FairShare>(),
-                                 std::make_shared<core::RationalSignal>(),
-                                 core::FeedbackStyle::Individual,
-                                 adjusters[0]);
+    const auto& flat = measurements[kClosedLoop];
+    core::FlowControlModel model(
+        network::single_bottleneck(n_loop, 1.0),
+        std::make_shared<queueing::FairShare>(),
+        std::make_shared<core::RationalSignal>(),
+        core::FeedbackStyle::Individual, adjusters[0]);
     TextTable table({"epoch", "model r_0", "sim r_0", "model r_2", "sim r_2"});
     table.set_title("\nClosed loop vs synchronous model (individual + Fair "
                     "Share, eta = 0.15)");
     std::vector<double> r = r0;
     double worst_gap = 0.0;
-    for (std::size_t e = 0; e < records.size(); ++e) {
-      worst_gap = std::max(worst_gap, std::fabs(records[e].rates[0] - r[0]));
-      worst_gap = std::max(worst_gap, std::fabs(records[e].rates[2] - r[2]));
-      if (e % 5 == 0 || e + 1 == records.size()) {
-        table.add_row({std::to_string(e), fmt(r[0], 4),
-                       fmt(records[e].rates[0], 4), fmt(r[2], 4),
-                       fmt(records[e].rates[2], 4)});
+    for (std::size_t e = 0; e < kClosedLoopEpochs; ++e) {
+      const double sim_r0 = flat[2 * e];
+      const double sim_r2 = flat[2 * e + 1];
+      worst_gap = std::max(worst_gap, std::fabs(sim_r0 - r[0]));
+      worst_gap = std::max(worst_gap, std::fabs(sim_r2 - r[2]));
+      if (e % 5 == 0 || e + 1 == kClosedLoopEpochs) {
+        table.add_row({std::to_string(e), fmt(r[0], 4), fmt(sim_r0, 4),
+                       fmt(r[2], 4), fmt(sim_r2, 4)});
       }
       r = model.step(r);
     }
     table.print(std::cout);
-    const auto& final_rates = loop.rates();
     bool converged_fair = true;
-    for (double x : final_rates) {
-      converged_fair = converged_fair && within(x, 0.5 / 3.0, 0.05);
+    for (std::size_t i = 0; i < n_loop; ++i) {
+      const double final_rate = flat[2 * kClosedLoopEpochs + i];
+      converged_fair = converged_fair && within(final_rate, 0.5 / 3.0, 0.05);
     }
     ok = ok && worst_gap < 0.08 && converged_fair;
     std::cout << "\nworst per-epoch gap between simulated and analytic "

@@ -1,7 +1,26 @@
 // Microbenchmarks: discrete-event simulator throughput (events/second),
-// which bounds how much simulated time the validation experiments can cover.
+// which bounds how much simulated time the validation experiments can cover,
+// plus the sweep-execution layer itself (exec::SweepRunner fanning replica
+// DES runs and bifurcation scans across threads).
+//
+// Unlike the other perf_* binaries this one has a custom main: it accepts
+// --jobs N (default 1) before the usual google-benchmark flags, and the
+// BM_*Sweep benchmarks run their sweep at that worker count, so
+//   perf_des --jobs 4 --benchmark_filter=Sweep
+// vs --jobs 1 measures the parallel speedup directly.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/onedmap.hpp"
+#include "core/rate_adjustment.hpp"
+#include "core/signal.hpp"
+#include "exec/cli.hpp"
+#include "exec/param_grid.hpp"
+#include "exec/sweep_runner.hpp"
 #include "network/builders.hpp"
 #include "sim/network_sim.hpp"
 
@@ -9,6 +28,9 @@ namespace {
 
 using ffc::sim::NetworkSimulator;
 using ffc::sim::SimDiscipline;
+
+// Sweep options from --jobs/--seed, shared by the BM_*Sweep benchmarks.
+ffc::exec::SweepOptions g_sweep_options;
 
 void run_network(benchmark::State& state, SimDiscipline kind) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -53,4 +75,105 @@ void BM_ParkingLotNetwork(benchmark::State& state) {
 }
 BENCHMARK(BM_ParkingLotNetwork)->Arg(2)->Arg(5);
 
+// ---- sweep-layer benchmarks (honour --jobs) ------------------------------
+
+// Replica DES sweep: Arg(0) independent single-bottleneck runs, each seeded
+// from (base_seed, grid index). This is the sharded-DES workload shape the
+// exec layer exists for; events/s aggregates across all replicas.
+void BM_ReplicaDesSweep(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  ffc::exec::ParamGrid grid;
+  grid.axis("replica",
+            ffc::exec::ParamGrid::linspace(0.0, replicas - 1.0, replicas));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    ffc::exec::SweepRunner runner(g_sweep_options);
+    const auto counts = runner.run(
+        grid,
+        [](const ffc::exec::GridPoint&, std::uint64_t seed) -> std::uint64_t {
+          NetworkSimulator sim(ffc::network::single_bottleneck(8, 1.0),
+                               SimDiscipline::FairShare, seed);
+          sim.set_rates(std::vector<double>(8, 0.1));
+          sim.run_for(2000.0);
+          return sim.events_processed();
+        });
+    for (std::uint64_t c : counts) events += c;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["jobs"] = static_cast<double>(
+      ffc::exec::SweepRunner(g_sweep_options).jobs());
+}
+// UseRealTime: the work happens on pool threads, so rates must be computed
+// against wall time, not the main thread's (near-zero) CPU time.
+BENCHMARK(BM_ReplicaDesSweep)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The E5 workload shape: classify + Lyapunov across an eta grid.
+void BM_BifurcationSweep(benchmark::State& state) {
+  using namespace ffc;
+  const std::size_t n = 8;
+  auto family = [&](double eta) {
+    return core::make_symmetric_aggregate_map(
+        n, 1.0, 0.0, std::make_shared<core::QuadraticSignal>(),
+        std::make_shared<core::AdditiveTsi>(eta, 0.5));
+  };
+  exec::ParamGrid grid;
+  grid.axis("eta", exec::ParamGrid::arange(0.05, 0.26, 0.005));
+  for (auto _ : state) {
+    exec::SweepRunner runner(g_sweep_options);
+    const auto points = runner.run(
+        grid, [&family](const exec::GridPoint& p, std::uint64_t) {
+          const core::OneDMap map = family(p.get("eta"));
+          return map.lyapunov(0.05, 2000, 2048);
+        });
+    benchmark::DoNotOptimize(points);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * grid.size()));
+  state.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * grid.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BifurcationSweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
+
+// Custom main: peel off --jobs/--seed, hand the rest to google-benchmark.
+int main(int argc, char** argv) {
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  std::vector<char*> ours;
+  ours.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool is_ours = arg.rfind("--jobs", 0) == 0 ||
+                         arg.rfind("--seed", 0) == 0;
+    if (is_ours) {
+      ours.push_back(argv[i]);
+      // "--jobs N" form: the value travels as the next argv entry.
+      if ((arg == "--jobs" || arg == "--seed") && i + 1 < argc) {
+        ours.push_back(argv[++i]);
+      }
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  g_sweep_options =
+      ffc::exec::parse_sweep_cli(static_cast<int>(ours.size()), ours.data())
+          .options;
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "exec/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+namespace ffc::exec {
+
+namespace {
+
+/// If `arg` is `--name` returns the next argv entry (consuming it); if it is
+/// `--name=value` returns the value; otherwise returns false.
+bool take_flag_value(std::string_view name, int argc, char** argv, int& i,
+                     std::string& value) {
+  const std::string_view arg = argv[i];
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      std::cerr << "warning: " << name << " expects a value; ignored\n";
+      return false;
+    }
+    value = argv[++i];
+    return true;
+  }
+  if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
+      arg[name.size()] == '=') {
+    value = std::string(arg.substr(name.size() + 1));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed) {
+  SweepCli cli;
+  cli.options.base_seed = default_seed;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string value;
+    if (take_flag_value("--jobs", argc, argv, i, value)) {
+      cli.options.jobs = static_cast<std::size_t>(
+          std::strtoull(value.c_str(), nullptr, 10));
+    } else if (take_flag_value("--seed", argc, argv, i, value)) {
+      cli.options.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      cli.help = true;
+      std::cout << "usage: " << argv[0] << " [--jobs N] [--seed S]\n"
+                << "  --jobs N   sweep worker threads (0 = all hardware "
+                   "threads; default 1)\n"
+                << "  --seed S   master RNG seed (default " << default_seed
+                << "); same seed => same output at any --jobs\n";
+    } else {
+      std::cerr << "warning: unknown argument '" << arg << "' ignored\n";
+    }
+  }
+  return cli;
+}
+
+}  // namespace ffc::exec

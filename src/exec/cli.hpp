@@ -1,0 +1,33 @@
+// Shared command-line handling for sweep-enabled experiment binaries.
+//
+// Every converted experiment accepts the same two flags:
+//
+//   --jobs N   worker threads for SweepRunner (0 = all hardware threads;
+//              default 1, the historical serial behaviour)
+//   --seed S   master seed; per-task seeds derive from (S, grid index)
+//
+// so `exp_e5_bifurcation --jobs 8` and `exp_e5_bifurcation --jobs 1` emit
+// byte-identical stdout/CSV (see docs/DETERMINISM.md). Timing output goes
+// to stderr for the same reason.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/sweep_runner.hpp"
+
+namespace ffc::exec {
+
+/// Parsed sweep flags.
+struct SweepCli {
+  SweepOptions options;  ///< jobs + base_seed, ready for SweepRunner
+  bool help = false;     ///< --help / -h was given; usage already printed
+};
+
+/// Parses --jobs/--seed (both "--flag value" and "--flag=value" forms) from
+/// argv. Unknown arguments are ignored with a warning on stderr, so
+/// experiments keep their historical "no required arguments" contract.
+/// `default_seed` seeds sweeps when --seed is absent.
+SweepCli parse_sweep_cli(int argc, char** argv,
+                         std::uint64_t default_seed = 1);
+
+}  // namespace ffc::exec

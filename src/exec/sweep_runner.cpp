@@ -1,0 +1,58 @@
+#include "exec/sweep_runner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "report/table.hpp"
+#include "stats/rng.hpp"
+
+namespace ffc::exec {
+
+std::uint64_t derive_task_seed(std::uint64_t base_seed,
+                               std::uint64_t task_index) {
+  const std::uint64_t mixed_base = stats::SplitMix64(base_seed).next();
+  return stats::SplitMix64(mixed_base + task_index).next();
+}
+
+void SweepReport::print(std::ostream& os) const {
+  report::TextTable table({"tasks", "jobs", "wall s", "tasks/s", "speedup",
+                           "task s (min/mean/max)"});
+  table.set_title("sweep timing");
+  const double mean =
+      tasks > 0 ? total_task_seconds / static_cast<double>(tasks) : 0.0;
+  table.add_row({std::to_string(tasks), std::to_string(jobs),
+                 report::fmt(wall_seconds, 3),
+                 report::fmt(tasks_per_second(), 1),
+                 report::fmt(speedup(), 2),
+                 report::fmt(min_task_seconds, 4) + " / " +
+                     report::fmt(mean, 4) + " / " +
+                     report::fmt(max_task_seconds, 4)});
+  table.print(os);
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {
+  jobs_ = options_.jobs == 0 ? ThreadPool::hardware_jobs() : options_.jobs;
+}
+
+void SweepRunner::finish_report(
+    std::size_t tasks, const std::vector<double>& task_seconds,
+    std::chrono::steady_clock::time_point sweep_start) {
+  report_ = SweepReport{};
+  report_.tasks = tasks;
+  report_.jobs = jobs_;
+  report_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+  report_.total_task_seconds =
+      std::accumulate(task_seconds.begin(), task_seconds.end(), 0.0);
+  if (tasks > 0) {
+    report_.min_task_seconds =
+        *std::min_element(task_seconds.begin(), task_seconds.end());
+    report_.max_task_seconds =
+        *std::max_element(task_seconds.begin(), task_seconds.end());
+  }
+}
+
+}  // namespace ffc::exec

@@ -1,0 +1,158 @@
+// Parallel parameter-sweep execution with deterministic, thread-count-
+// independent results.
+//
+// SweepRunner fans the points of a ParamGrid out across a ThreadPool and
+// collects the task results *in grid order*: results[i] always corresponds
+// to grid.point(i), no matter which worker computed it or when it finished.
+// Each task receives its own RNG seed derived from (base_seed, grid index)
+// via SplitMix64 -- never a shared generator -- so a sweep's output is
+// bit-identical at any --jobs value (the scheme, and why shared-RNG sweeps
+// are forbidden, is documented in docs/DETERMINISM.md).
+//
+// Instrumentation rides along for free: per-task wall time, total wall
+// time, and throughput are recorded into a SweepReport that prints through
+// src/report's TextTable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/param_grid.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace ffc::exec {
+
+/// Derives the RNG seed for task `task_index` of a sweep with master seed
+/// `base_seed`:
+///
+///   seed_i = SplitMix64(SplitMix64(base_seed).next() + i).next()
+///
+/// i.e. the base seed is finalized once, the task index offsets the
+/// resulting state, and a second finalization scatters it. Consecutive
+/// indices land on consecutive SplitMix64 states, whose outputs are
+/// pairwise distinct over any 2^64 window -- per-task streams never
+/// collide within a sweep. The combination is deliberately asymmetric in
+/// (base, index) so seed_i(a, b) != seed_i(b, a). Pure function of its two
+/// arguments: no global state, no ordering sensitivity.
+std::uint64_t derive_task_seed(std::uint64_t base_seed,
+                               std::uint64_t task_index);
+
+/// Knobs for one sweep.
+struct SweepOptions {
+  std::size_t jobs = 1;           ///< worker threads; 0 => hardware_jobs()
+  std::uint64_t base_seed = 1;    ///< master seed; per-task seeds derive from it
+};
+
+/// Timing summary of one sweep, filled in by SweepRunner::run.
+struct SweepReport {
+  std::size_t tasks = 0;          ///< grid points executed
+  std::size_t jobs = 0;           ///< worker threads used
+  double wall_seconds = 0.0;      ///< end-to-end sweep wall time
+  double total_task_seconds = 0.0;///< sum of per-task wall times
+  double min_task_seconds = 0.0;
+  double max_task_seconds = 0.0;
+
+  /// Tasks completed per wall-clock second.
+  double tasks_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(tasks) / wall_seconds
+                              : 0.0;
+  }
+
+  /// Ratio of summed per-task wall time to sweep wall time: how much task
+  /// execution overlapped in time (<= jobs). On a machine with >= jobs
+  /// cores this is the parallel speedup; with fewer cores, overlapped tasks
+  /// share cores and the ratio overstates the wall-clock gain.
+  double speedup() const {
+    return wall_seconds > 0.0 ? total_task_seconds / wall_seconds : 0.0;
+  }
+
+  /// Renders a one-table summary (tasks, jobs, wall, tasks/s, min/mean/max
+  /// task time) to `os`. Experiments print this to stderr so stdout stays
+  /// byte-comparable across --jobs values.
+  void print(std::ostream& os) const;
+};
+
+/// Runs a function over every point of a ParamGrid, in parallel, collecting
+/// results in deterministic grid order.
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// The resolved worker count (options.jobs, with 0 expanded).
+  std::size_t jobs() const { return jobs_; }
+  std::uint64_t base_seed() const { return options_.base_seed; }
+
+  /// Applies `fn(const GridPoint&, std::uint64_t seed)` to every grid point
+  /// and returns the results indexed by grid point, i.e. result[i] ==
+  /// fn(grid.point(i), derive_task_seed(base_seed, i)).
+  ///
+  /// With jobs == 1 the sweep runs inline on the calling thread (no pool);
+  /// otherwise tasks are fanned across a fresh ThreadPool. Either way the
+  /// result vector -- and therefore anything serialized from it -- is
+  /// identical, because fn receives identical (point, seed) pairs and
+  /// results land in their grid slot.
+  ///
+  /// If any task throws, the exception for the lowest-indexed failing point
+  /// is rethrown after all in-flight tasks finish.
+  template <typename Fn>
+  auto run(const ParamGrid& grid, Fn&& fn)
+      -> std::vector<decltype(fn(std::declval<const GridPoint&>(),
+                                 std::uint64_t{}))> {
+    using R = decltype(fn(std::declval<const GridPoint&>(), std::uint64_t{}));
+    const std::size_t n = grid.size();
+    std::vector<std::optional<R>> slots(n);
+    std::vector<double> task_seconds(n, 0.0);
+
+    const auto sweep_start = std::chrono::steady_clock::now();
+    auto run_one = [&](std::size_t i) {
+      const GridPoint point = grid.point(i);
+      const std::uint64_t seed = derive_task_seed(options_.base_seed, i);
+      const auto t0 = std::chrono::steady_clock::now();
+      slots[i].emplace(fn(point, seed));
+      task_seconds[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    };
+
+    if (jobs_ <= 1) {
+      for (std::size_t i = 0; i < n; ++i) run_one(i);
+    } else {
+      std::vector<std::future<void>> futures;
+      futures.reserve(n);
+      {
+        ThreadPool pool(jobs_);
+        for (std::size_t i = 0; i < n; ++i) {
+          futures.push_back(pool.submit([&run_one, i] { run_one(i); }));
+        }
+        // Pool destructor drains the queue; get() below rethrows the
+        // lowest-index failure.
+      }
+      for (auto& future : futures) future.get();
+    }
+
+    finish_report(n, task_seconds, sweep_start);
+
+    std::vector<R> results;
+    results.reserve(n);
+    for (auto& slot : slots) results.push_back(std::move(*slot));
+    return results;
+  }
+
+  /// Timing of the most recent run().
+  const SweepReport& last_report() const { return report_; }
+
+ private:
+  void finish_report(std::size_t tasks,
+                     const std::vector<double>& task_seconds,
+                     std::chrono::steady_clock::time_point sweep_start);
+
+  SweepOptions options_;
+  std::size_t jobs_ = 1;
+  SweepReport report_;
+};
+
+}  // namespace ffc::exec

@@ -1,0 +1,277 @@
+// The execution layer: ThreadPool lifecycle and exception safety, ParamGrid
+// enumeration order, seed derivation, and the headline guarantee -- a sweep
+// is element-for-element identical at any thread count.
+#include "exec/cli.hpp"
+#include "exec/param_grid.hpp"
+#include "exec/sweep_runner.hpp"
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace ffc;
+using exec::derive_task_seed;
+using exec::GridPoint;
+using exec::ParamGrid;
+using exec::SweepOptions;
+using exec::SweepRunner;
+using exec::ThreadPool;
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++counter;
+      });
+    }
+    // No explicit wait: ~ThreadPool must run all 100 before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValuesThroughFutures) {
+  ThreadPool pool(3);
+  auto f1 = pool.submit([] { return 6 * 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, TaskExceptionsArriveViaFutureNotWorker) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.submit([] { return 1; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive and serving.
+  EXPECT_EQ(good.get(), 1);
+  auto again = pool.submit([] { return 2; });
+  EXPECT_EQ(again.get(), 2);
+}
+
+TEST(ThreadPool, ZeroThreadRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilQueueEmpty) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++counter;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// ---- ParamGrid -----------------------------------------------------------
+
+TEST(ParamGrid, RowMajorEnumerationLastAxisFastest) {
+  ParamGrid grid;
+  grid.axis("a", {1.0, 2.0}).axis("b", {10.0, 20.0, 30.0});
+  ASSERT_EQ(grid.size(), 6u);
+  const double expected[6][2] = {{1, 10}, {1, 20}, {1, 30},
+                                 {2, 10}, {2, 20}, {2, 30}};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const GridPoint p = grid.point(i);
+    EXPECT_EQ(p.index(), i);
+    EXPECT_EQ(p.get("a"), expected[i][0]) << "point " << i;
+    EXPECT_EQ(p.get("b"), expected[i][1]) << "point " << i;
+    EXPECT_EQ(p.at(0), expected[i][0]);
+    EXPECT_EQ(p.at(1), expected[i][1]);
+  }
+}
+
+TEST(ParamGrid, NoAxesIsTheEmptyProduct) {
+  ParamGrid grid;
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(grid.point(0).coords().empty());
+}
+
+TEST(ParamGrid, EmptyAxisMakesGridEmpty) {
+  ParamGrid grid;
+  grid.axis("a", {1.0, 2.0}).axis("b", {});
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_THROW(grid.point(0), std::out_of_range);
+}
+
+TEST(ParamGrid, UnknownAxisNameThrows) {
+  ParamGrid grid;
+  grid.axis("eta", {0.1});
+  EXPECT_THROW(grid.point(0).get("mu"), std::out_of_range);
+  EXPECT_THROW(grid.point(0).at(1), std::out_of_range);
+}
+
+TEST(ParamGrid, LinspaceHitsEndpointsExactly) {
+  const auto v = ParamGrid::linspace(0.1, 0.7, 7);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_EQ(v.front(), 0.1);
+  EXPECT_EQ(v.back(), 0.7);
+  EXPECT_NEAR(v[3], 0.4, 1e-12);
+}
+
+TEST(ParamGrid, ArangeComputesValuesWithoutAccumulation) {
+  const auto v = ParamGrid::arange(0.05, 0.2605, 0.0025);
+  ASSERT_EQ(v.size(), 85u);
+  EXPECT_EQ(v.front(), 0.05);
+  // Each value is lo + i*step exactly, not a running sum.
+  EXPECT_EQ(v[84], 0.05 + 84 * 0.0025);
+}
+
+// ---- seed derivation -----------------------------------------------------
+
+TEST(DeriveTaskSeed, DistinctAcrossIndicesAndBases) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {1ULL, 2ULL, 0xdeadbeefULL}) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      seen.insert(derive_task_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 3000u);  // no collisions across 3 bases x 1000 tasks
+}
+
+TEST(DeriveTaskSeed, PureFunctionOfItsArguments) {
+  EXPECT_EQ(derive_task_seed(42, 17), derive_task_seed(42, 17));
+  EXPECT_NE(derive_task_seed(42, 17), derive_task_seed(43, 17));
+  EXPECT_NE(derive_task_seed(42, 17), derive_task_seed(42, 18));
+}
+
+// ---- SweepRunner ---------------------------------------------------------
+
+// A task with real RNG usage: draws depend only on the per-task seed.
+double noisy_task(const GridPoint& p, std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  double acc = p.get("x") * 100.0 + p.get("y");
+  for (int i = 0; i < 1000; ++i) acc += rng.uniform01();
+  return acc;
+}
+
+TEST(SweepRunner, DeterministicAcrossThreadCounts) {
+  ParamGrid grid;
+  grid.axis("x", ParamGrid::linspace(0.0, 1.0, 6))
+      .axis("y", ParamGrid::linspace(-3.0, 3.0, 7));
+
+  SweepRunner serial(SweepOptions{.jobs = 1, .base_seed = 99});
+  SweepRunner parallel(SweepOptions{.jobs = 4, .base_seed = 99});
+  const auto a = serial.run(grid, noisy_task);
+  const auto b = parallel.run(grid, noisy_task);
+
+  ASSERT_EQ(a.size(), grid.size());
+  ASSERT_EQ(b.size(), grid.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "jobs=1 and jobs=4 disagree at grid index " << i;
+  }
+}
+
+TEST(SweepRunner, DifferentBaseSeedsChangeResults) {
+  ParamGrid grid;
+  grid.axis("x", {0.5}).axis("y", {0.5});
+  SweepRunner r1(SweepOptions{.jobs = 2, .base_seed = 1});
+  SweepRunner r2(SweepOptions{.jobs = 2, .base_seed = 2});
+  EXPECT_NE(r1.run(grid, noisy_task)[0], r2.run(grid, noisy_task)[0]);
+}
+
+TEST(SweepRunner, ResultsArriveInGridOrder) {
+  ParamGrid grid;
+  grid.axis("i", ParamGrid::linspace(0.0, 31.0, 32));
+  SweepRunner runner(SweepOptions{.jobs = 4});
+  // Make early tasks slow so completion order inverts submission order.
+  const auto out = runner.run(grid, [](const GridPoint& p, std::uint64_t) {
+    if (p.index() < 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return p.get("i");
+  });
+  ASSERT_EQ(out.size(), 32u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<double>(i));
+  }
+}
+
+TEST(SweepRunner, TaskExceptionRethrownToCaller) {
+  ParamGrid grid;
+  grid.axis("i", ParamGrid::linspace(0.0, 9.0, 10));
+  SweepRunner runner(SweepOptions{.jobs = 3});
+  EXPECT_THROW(runner.run(grid,
+                          [](const GridPoint& p, std::uint64_t) -> int {
+                            if (p.index() == 5) {
+                              throw std::runtime_error("task 5 failed");
+                            }
+                            return 0;
+                          }),
+               std::runtime_error);
+}
+
+TEST(SweepRunner, ReportCountsTasksAndTime) {
+  ParamGrid grid;
+  grid.axis("x", ParamGrid::linspace(0.0, 3.0, 4))
+      .axis("y", ParamGrid::linspace(0.0, 1.0, 2));
+  SweepRunner runner(SweepOptions{.jobs = 2, .base_seed = 5});
+  runner.run(grid, noisy_task);
+  const auto& report = runner.last_report();
+  EXPECT_EQ(report.tasks, 8u);
+  EXPECT_EQ(report.jobs, 2u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GE(report.max_task_seconds, report.min_task_seconds);
+  EXPECT_GE(report.total_task_seconds, report.max_task_seconds);
+}
+
+TEST(SweepRunner, JobsZeroExpandsToHardware) {
+  SweepRunner runner(SweepOptions{.jobs = 0});
+  EXPECT_EQ(runner.jobs(), ThreadPool::hardware_jobs());
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+// ---- CLI -----------------------------------------------------------------
+
+TEST(SweepCli, ParsesJobsAndSeedBothForms) {
+  const char* argv1[] = {"prog", "--jobs", "8", "--seed", "12345"};
+  auto cli = exec::parse_sweep_cli(5, const_cast<char**>(argv1), 1);
+  EXPECT_EQ(cli.options.jobs, 8u);
+  EXPECT_EQ(cli.options.base_seed, 12345u);
+
+  const char* argv2[] = {"prog", "--jobs=4", "--seed=7"};
+  cli = exec::parse_sweep_cli(3, const_cast<char**>(argv2), 1);
+  EXPECT_EQ(cli.options.jobs, 4u);
+  EXPECT_EQ(cli.options.base_seed, 7u);
+}
+
+TEST(SweepCli, DefaultsAreSerialWithGivenSeed) {
+  const char* argv[] = {"prog"};
+  const auto cli = exec::parse_sweep_cli(1, const_cast<char**>(argv), 2024);
+  EXPECT_EQ(cli.options.jobs, 1u);
+  EXPECT_EQ(cli.options.base_seed, 2024u);
+  EXPECT_FALSE(cli.help);
+}
+
+}  // namespace
