@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# bench_to_json.sh -- run google-benchmark binaries with JSON output and
+# merge the per-binary documents into one BENCH_*.json perf snapshot.
+#
+#   usage: bench_to_json.sh OUT.json PERF_BIN [PERF_BIN...]
+#
+# Each binary runs with
+#   --benchmark_out=<tmp>.json --benchmark_out_format=json $BENCH_ARGS
+# (BENCH_ARGS defaults to --benchmark_min_time=0.1 so a full snapshot stays
+# under a couple of minutes; export BENCH_ARGS= for google-benchmark's
+# default timing on a quiet machine).
+#
+# The merged document (schema ffc.bench.v1, see docs/OBSERVABILITY.md) maps
+# each binary's name to its unmodified google-benchmark JSON:
+#
+#   { "schema": "ffc.bench.v1",
+#     "benchmarks": { "perf_des": {"context": ..., "benchmarks": [...]}, ... } }
+#
+# The CMake target `bench-json` drives this script over all perf_* binaries;
+# each PR commits the result as BENCH_PR<n>.json at the repo root so the
+# perf trajectory is diffable across PRs.
+set -eu
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 OUT.json PERF_BIN [PERF_BIN...]" >&2
+  exit 2
+fi
+
+out=$1
+shift
+: "${BENCH_ARGS=--benchmark_min_time=0.1}"
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+parts=""
+for bin in "$@"; do
+  name=$(basename "$bin")
+  part="$tmpdir/$name.json"
+  echo "bench_to_json: running $name ..." >&2
+  # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
+  "$bin" --benchmark_out="$part" --benchmark_out_format=json $BENCH_ARGS >&2
+  parts="$parts $part"
+done
+
+# shellcheck disable=SC2086
+python3 - "$out" $parts <<'PY'
+import json
+import os
+import sys
+
+out, *files = sys.argv[1:]
+doc = {"schema": "ffc.bench.v1", "benchmarks": {}}
+for path in files:
+    name = os.path.splitext(os.path.basename(path))[0]
+    with open(path) as fh:
+        doc["benchmarks"][name] = json.load(fh)
+with open(out, "w") as fh:
+    json.dump(doc, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+PY
+echo "bench_to_json: wrote $out" >&2

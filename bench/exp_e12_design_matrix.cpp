@@ -50,6 +50,7 @@ struct Row {
 int main(int argc, char** argv) {
   const auto cli = ffc::exec::parse_sweep_cli(argc, argv);
   if (cli.help) return EXIT_SUCCESS;
+  if (cli.error) return EXIT_FAILURE;
   std::cout << "== E12: the §5 design matrix, measured ==\n\n";
 
   const Row rows[] = {
@@ -80,6 +81,10 @@ int main(int argc, char** argv) {
         return core::evaluate_design(row.style, row.discipline, options);
       });
   runner.last_report().print(std::cerr);
+  if (!cli.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), cli.metrics_out)) {
+    return EXIT_FAILURE;
+  }
 
   bool ok = true;
   for (std::size_t i = 0; i < std::size(rows); ++i) {

@@ -61,6 +61,7 @@ const char* kind_name(ScalarOrbitKind kind, std::size_t period) {
 int main(int argc, char** argv) {
   const auto cli = ffc::exec::parse_sweep_cli(argc, argv);
   if (cli.help) return EXIT_SUCCESS;
+  if (cli.error) return EXIT_FAILURE;
   std::cout << "== E5: route to chaos of symmetric aggregate feedback ==\n"
             << "B(C) = (C/(1+C))^2, f = eta(beta - b), beta = 0.5, N = 8, "
                "mu = 1\n"
@@ -84,18 +85,29 @@ int main(int argc, char** argv) {
   grid.axis("eta", exec::ParamGrid::arange(0.05, 0.2605, 0.0025));
   exec::SweepRunner runner(cli.options);
   // The map iteration is deterministic (no RNG draws), so the per-task seed
-  // is unused here -- parallelism alone motivates the sweep.
+  // is unused here -- parallelism alone motivates the sweep. Each task
+  // records what it classified into its private MetricRegistry; the merged
+  // counts land in the --metrics-out manifest.
   const auto points = runner.run(
-      grid, [&family](const exec::GridPoint& p, std::uint64_t /*seed*/) {
+      grid, [&family](const exec::GridPoint& p, std::uint64_t /*seed*/,
+                      obs::MetricRegistry& metrics) {
         const double eta = p.get("eta");
         const core::OneDMap map = family(eta);
         core::BifurcationPoint point;
         point.parameter = eta;
         point.orbit = map.classify(0.05, 4000, 1024);
         point.lyapunov = map.lyapunov(0.05, 4000, 4096);
+        metrics.add("e5.points_classified");
+        metrics.add("e5.orbit_samples", point.orbit.samples.size());
+        if (point.lyapunov > 0.01) metrics.add("e5.positive_lyapunov");
+        metrics.set_gauge("e5.lyapunov", point.lyapunov);  // per-task reading
         return point;
       });
   runner.last_report().print(std::cerr);
+  if (!cli.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), cli.metrics_out)) {
+    return EXIT_FAILURE;
+  }
   for (const auto& p : points) {
     const auto& orbit = p.orbit;
     const bool chaotic =

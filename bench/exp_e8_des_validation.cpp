@@ -59,6 +59,7 @@ constexpr std::size_t kClosedLoopEpochs = 30;
 int main(int argc, char** argv) {
   const auto cli = exec::parse_sweep_cli(argc, argv, /*default_seed=*/2025);
   if (cli.help) return EXIT_SUCCESS;
+  if (cli.error) return EXIT_FAILURE;
   std::cout << "== E8: discrete-event validation of the analytic model ==\n";
   bool ok = true;
 
@@ -78,8 +79,8 @@ int main(int argc, char** argv) {
   exec::SweepRunner runner(cli.options);
   const auto measurements = runner.run(
       grid,
-      [&](const exec::GridPoint& p, std::uint64_t seed)
-          -> std::vector<double> {
+      [&](const exec::GridPoint& p, std::uint64_t seed,
+          obs::MetricRegistry& metrics) -> std::vector<double> {
         switch (p.index()) {
           case kOpenFifo:
           case kOpenFairShare: {
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
             for (std::size_t i = 0; i < open_rates.size(); ++i) {
               q.push_back(netsim.mean_queue(0, i));
             }
+            netsim.collect_metrics(metrics);
             return q;
           }
           case kOverload: {
@@ -105,7 +107,9 @@ int main(int argc, char** argv) {
             netsim.run_for(5000.0);
             netsim.reset_metrics();
             netsim.run_for(40000.0);
-            return {netsim.mean_queue(0, 0)};
+            const double q = netsim.mean_queue(0, 0);
+            netsim.collect_metrics(metrics);
+            return {q};
           }
           case kTandem: {
             network::Topology topo({{1.0, 0.5}, {0.8, 0.25}},
@@ -116,7 +120,10 @@ int main(int argc, char** argv) {
             netsim.run_for(10000.0);
             netsim.reset_metrics();
             netsim.run_for(80000.0);
-            return {netsim.mean_queue(1, 0), netsim.mean_delay(0)};
+            const double q2 = netsim.mean_queue(1, 0);
+            const double d = netsim.mean_delay(0);
+            netsim.collect_metrics(metrics);
+            return {q2, d};
           }
           case kClosedLoop: {
             sim::ClosedLoopOptions opts;
@@ -127,6 +134,8 @@ int main(int argc, char** argv) {
                 std::make_shared<core::RationalSignal>(),
                 core::FeedbackStyle::Individual, adjusters, seed, opts);
             const auto records = loop.run(r0, kClosedLoopEpochs);
+            metrics.add("loop.epochs", records.size());
+            loop.network().collect_metrics(metrics);
             // Flatten: per-epoch (r_0, r_2) pairs, then the final rates.
             std::vector<double> out;
             for (const auto& record : records) {
@@ -140,6 +149,10 @@ int main(int argc, char** argv) {
         return {};
       });
   runner.last_report().print(std::cerr);
+  if (!cli.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), cli.metrics_out)) {
+    return EXIT_FAILURE;
+  }
 
   // ---- (1) open-loop queue validation ------------------------------------
   {

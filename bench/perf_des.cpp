@@ -163,9 +163,10 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  g_sweep_options =
-      ffc::exec::parse_sweep_cli(static_cast<int>(ours.size()), ours.data())
-          .options;
+  const auto cli =
+      ffc::exec::parse_sweep_cli(static_cast<int>(ours.size()), ours.data());
+  if (cli.error) return 1;
+  g_sweep_options = cli.options;
 
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

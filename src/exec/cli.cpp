@@ -1,6 +1,6 @@
 #include "exec/cli.hpp"
 
-#include <cstdlib>
+#include <charconv>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -9,24 +9,62 @@ namespace ffc::exec {
 
 namespace {
 
+enum class TakeResult {
+  NoMatch,  // arg is not this flag
+  Value,    // value extracted
+  Error,    // arg is this flag but the value is missing/empty/flag-like
+};
+
 /// If `arg` is `--name` returns the next argv entry (consuming it); if it is
-/// `--name=value` returns the value; otherwise returns false.
-bool take_flag_value(std::string_view name, int argc, char** argv, int& i,
-                     std::string& value) {
+/// `--name=value` returns the value. A following token that itself starts
+/// with "--" is NOT consumed as a value: `--jobs --seed 5` used to eat
+/// `--seed`, send 0 through strtoull ("all hardware threads"), and leave the
+/// real seed behind as an ignored argument -- exactly the silent misparse
+/// this layer exists to refuse.
+TakeResult take_flag_value(std::string_view name, int argc, char** argv,
+                           int& i, std::string& value) {
   const std::string_view arg = argv[i];
   if (arg == name) {
     if (i + 1 >= argc) {
-      std::cerr << "warning: " << name << " expects a value; ignored\n";
-      return false;
+      std::cerr << "error: " << name << " expects a value\n";
+      return TakeResult::Error;
+    }
+    const std::string_view next = argv[i + 1];
+    if (next.substr(0, 2) == "--") {
+      std::cerr << "error: " << name << " expects a value, got flag '" << next
+                << "'\n";
+      return TakeResult::Error;
     }
     value = argv[++i];
-    return true;
+    return TakeResult::Value;
   }
-  if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
+  if (arg.size() >= name.size() + 1 && arg.substr(0, name.size()) == name &&
       arg[name.size()] == '=') {
     value = std::string(arg.substr(name.size() + 1));
-    return true;
+    if (value.empty()) {
+      std::cerr << "error: " << name << "= has an empty value\n";
+      return TakeResult::Error;
+    }
+    return TakeResult::Value;
   }
+  return TakeResult::NoMatch;
+}
+
+/// Strict decimal parse: the whole string must be digits (std::from_chars,
+/// no sign, no leading whitespace, no trailing junk, no overflow).
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out, 10);
+  return ec == std::errc() && ptr == last && !text.empty();
+}
+
+/// Parses a numeric flag value or reports an error.
+bool parse_numeric_flag(std::string_view name, const std::string& value,
+                        std::uint64_t& out) {
+  if (parse_u64(value, out)) return true;
+  std::cerr << "error: " << name << " expects an unsigned integer, got '"
+            << value << "'\n";
   return false;
 }
 
@@ -38,18 +76,43 @@ SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     std::string value;
-    if (take_flag_value("--jobs", argc, argv, i, value)) {
-      cli.options.jobs = static_cast<std::size_t>(
-          std::strtoull(value.c_str(), nullptr, 10));
-    } else if (take_flag_value("--seed", argc, argv, i, value)) {
-      cli.options.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    TakeResult taken;
+    if ((taken = take_flag_value("--jobs", argc, argv, i, value)) !=
+        TakeResult::NoMatch) {
+      std::uint64_t jobs = 0;
+      if (taken == TakeResult::Error ||
+          !parse_numeric_flag("--jobs", value, jobs)) {
+        cli.error = true;
+      } else {
+        cli.options.jobs = static_cast<std::size_t>(jobs);
+      }
+    } else if ((taken = take_flag_value("--seed", argc, argv, i, value)) !=
+               TakeResult::NoMatch) {
+      std::uint64_t seed = 0;
+      if (taken == TakeResult::Error ||
+          !parse_numeric_flag("--seed", value, seed)) {
+        cli.error = true;
+      } else {
+        cli.options.base_seed = seed;
+      }
+    } else if ((taken = take_flag_value("--metrics-out", argc, argv, i,
+                                        value)) != TakeResult::NoMatch) {
+      if (taken == TakeResult::Error) {
+        cli.error = true;
+      } else {
+        cli.metrics_out = value;
+      }
     } else if (arg == "--help" || arg == "-h") {
       cli.help = true;
-      std::cout << "usage: " << argv[0] << " [--jobs N] [--seed S]\n"
-                << "  --jobs N   sweep worker threads (0 = all hardware "
-                   "threads; default 1)\n"
-                << "  --seed S   master RNG seed (default " << default_seed
-                << "); same seed => same output at any --jobs\n";
+      std::cout << "usage: " << argv[0]
+                << " [--jobs N] [--seed S] [--metrics-out FILE]\n"
+                << "  --jobs N          sweep worker threads (0 = all "
+                   "hardware threads; default 1)\n"
+                << "  --seed S          master RNG seed (default "
+                << default_seed << "); same seed => same output at any "
+                   "--jobs\n"
+                << "  --metrics-out F   write the JSON run manifest "
+                   "(seeds, durations, DES counters) to F\n";
     } else {
       std::cerr << "warning: unknown argument '" << arg << "' ignored\n";
     }

@@ -9,20 +9,30 @@
 // bit-identical at any --jobs value (the scheme, and why shared-RNG sweeps
 // are forbidden, is documented in docs/DETERMINISM.md).
 //
-// Instrumentation rides along for free: per-task wall time, total wall
-// time, and throughput are recorded into a SweepReport that prints through
-// src/report's TextTable.
+// Observability rides along for free: per-task wall time lands in a
+// SweepReport (printable as a table, serializable as JSON), and every task
+// gets its own obs::MetricRegistry -- written lock-free by exactly one
+// worker, merged in grid order afterwards -- so the SweepManifest (per-task
+// seed, grid point, duration, metrics) is identical at any thread count
+// except for wall-clock fields (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "exec/param_grid.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace ffc::report {
+class JsonWriter;
+}
 
 namespace ffc::exec {
 
@@ -74,7 +84,46 @@ struct SweepReport {
   /// task time) to `os`. Experiments print this to stderr so stdout stays
   /// byte-comparable across --jobs values.
   void print(std::ostream& os) const;
+
+  /// Emits the report as one JSON object. Every field except "tasks" and
+  /// "jobs" is wall-clock-derived; the manifest nests this object under
+  /// "execution", the one section allowed to differ across --jobs values.
+  void write_json(report::JsonWriter& w) const;
 };
+
+/// One task's entry in a SweepManifest.
+struct SweepTaskRecord {
+  std::size_t index = 0;        ///< flat grid index
+  std::uint64_t seed = 0;       ///< derive_task_seed(base_seed, index)
+  std::vector<double> coords;   ///< grid coordinates, one per axis
+  double seconds = 0.0;         ///< task wall time (timing field)
+  obs::MetricRegistry metrics;  ///< task-local metrics, written lock-free
+};
+
+/// Machine-readable record of one sweep: what ran, with which seeds, how
+/// long it took, and what the tasks measured. Everything except the
+/// "execution" object and "seconds" keys is a pure function of (grid,
+/// base_seed, task function), so manifests from different --jobs values are
+/// byte-identical after stripping those timing fields.
+struct SweepManifest {
+  std::uint64_t base_seed = 0;
+  std::vector<std::string> axes;       ///< axis names, grid order
+  std::vector<SweepTaskRecord> tasks;  ///< one per grid point, grid order
+  SweepReport execution;               ///< timing (jobs, wall, throughput)
+  obs::MetricRegistry merged;          ///< all task registries, merged
+
+  /// Writes the manifest as one JSON value (schema ffc.sweep_manifest.v1,
+  /// documented in docs/OBSERVABILITY.md).
+  void write_json(report::JsonWriter& w) const;
+
+  /// Writes a complete pretty-printed JSON document to `os`.
+  void write_json(std::ostream& os) const;
+};
+
+/// Writes `manifest` to `path` as a JSON document. Returns false (with a
+/// diagnostic on stderr) if the file cannot be written -- callers should
+/// exit nonzero rather than pretend the artifact exists.
+bool write_manifest(const SweepManifest& manifest, const std::string& path);
 
 /// Runs a function over every point of a ParamGrid, in parallel, collecting
 /// results in deterministic grid order.
@@ -86,9 +135,15 @@ class SweepRunner {
   std::size_t jobs() const { return jobs_; }
   std::uint64_t base_seed() const { return options_.base_seed; }
 
-  /// Applies `fn(const GridPoint&, std::uint64_t seed)` to every grid point
-  /// and returns the results indexed by grid point, i.e. result[i] ==
-  /// fn(grid.point(i), derive_task_seed(base_seed, i)).
+  /// Applies `fn` to every grid point and returns the results indexed by
+  /// grid point, i.e. result[i] == fn(grid.point(i),
+  /// derive_task_seed(base_seed, i)). Two task signatures are accepted:
+  ///
+  ///   R fn(const GridPoint&, std::uint64_t seed)
+  ///   R fn(const GridPoint&, std::uint64_t seed, obs::MetricRegistry&)
+  ///
+  /// The three-argument form hands the task its private MetricRegistry;
+  /// whatever it records shows up in last_manifest() (per task and merged).
   ///
   /// With jobs == 1 the sweep runs inline on the calling thread (no pool);
   /// otherwise tasks are fanned across a fresh ThreadPool. Either way the
@@ -99,20 +154,43 @@ class SweepRunner {
   /// If any task throws, the exception for the lowest-indexed failing point
   /// is rethrown after all in-flight tasks finish.
   template <typename Fn>
-  auto run(const ParamGrid& grid, Fn&& fn)
+  auto run(const ParamGrid& grid, Fn&& fn) {
+    if constexpr (std::is_invocable_v<Fn&, const GridPoint&, std::uint64_t,
+                                      obs::MetricRegistry&>) {
+      return run_impl(grid, fn);
+    } else {
+      return run_impl(grid,
+                      [&fn](const GridPoint& p, std::uint64_t seed,
+                            obs::MetricRegistry&) { return fn(p, seed); });
+    }
+  }
+
+  /// Timing of the most recent run().
+  const SweepReport& last_report() const { return report_; }
+
+  /// Full manifest (seeds, grid points, durations, metrics) of the most
+  /// recent run().
+  const SweepManifest& last_manifest() const { return manifest_; }
+
+ private:
+  template <typename Fn>
+  auto run_impl(const ParamGrid& grid, Fn&& fn)
       -> std::vector<decltype(fn(std::declval<const GridPoint&>(),
-                                 std::uint64_t{}))> {
-    using R = decltype(fn(std::declval<const GridPoint&>(), std::uint64_t{}));
+                                 std::uint64_t{},
+                                 std::declval<obs::MetricRegistry&>()))> {
+    using R = decltype(fn(std::declval<const GridPoint&>(), std::uint64_t{},
+                          std::declval<obs::MetricRegistry&>()));
     const std::size_t n = grid.size();
     std::vector<std::optional<R>> slots(n);
     std::vector<double> task_seconds(n, 0.0);
+    std::vector<obs::MetricRegistry> task_metrics(n);
 
     const auto sweep_start = std::chrono::steady_clock::now();
     auto run_one = [&](std::size_t i) {
       const GridPoint point = grid.point(i);
       const std::uint64_t seed = derive_task_seed(options_.base_seed, i);
       const auto t0 = std::chrono::steady_clock::now();
-      slots[i].emplace(fn(point, seed));
+      slots[i].emplace(fn(point, seed, task_metrics[i]));
       task_seconds[i] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
@@ -135,6 +213,7 @@ class SweepRunner {
     }
 
     finish_report(n, task_seconds, sweep_start);
+    finish_manifest(grid, task_seconds, std::move(task_metrics));
 
     std::vector<R> results;
     results.reserve(n);
@@ -142,17 +221,17 @@ class SweepRunner {
     return results;
   }
 
-  /// Timing of the most recent run().
-  const SweepReport& last_report() const { return report_; }
-
- private:
   void finish_report(std::size_t tasks,
                      const std::vector<double>& task_seconds,
                      std::chrono::steady_clock::time_point sweep_start);
+  void finish_manifest(const ParamGrid& grid,
+                       const std::vector<double>& task_seconds,
+                       std::vector<obs::MetricRegistry>&& task_metrics);
 
   SweepOptions options_;
   std::size_t jobs_ = 1;
   SweepReport report_;
+  SweepManifest manifest_;
 };
 
 }  // namespace ffc::exec

@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "report/json.hpp"
+
+namespace ffc::obs {
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Heterogeneous find-or-insert: std::map<...,std::less<>> supports
+// string_view lookup but insertion still needs a std::string key.
+template <typename Map>
+typename Map::mapped_type& slot(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), typename Map::mapped_type{}).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void MetricRegistry::add(std::string_view name, std::uint64_t delta) {
+  slot(counters_, name) += delta;
+}
+
+std::uint64_t MetricRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricRegistry::set_gauge(std::string_view name, double value) {
+  slot(gauges_, name) = value;
+}
+
+double MetricRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricRegistry::set_max(std::string_view name, std::uint64_t value) {
+  auto& current = slot(maxima_, name);
+  current = std::max(current, value);
+}
+
+std::uint64_t MetricRegistry::high_water(std::string_view name) const {
+  const auto it = maxima_.find(name);
+  return it == maxima_.end() ? 0 : it->second;
+}
+
+void MetricRegistry::record_seconds(std::string_view name, double seconds) {
+  auto& stat = slot(timers_, name);
+  stat.seconds += seconds;
+  stat.count += 1;
+}
+
+TimerStat MetricRegistry::timer(std::string_view name) const {
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? TimerStat{} : it->second;
+}
+
+MetricRegistry::ScopedTimer::ScopedTimer(MetricRegistry& registry,
+                                         std::string name)
+    : registry_(registry), name_(std::move(name)), start_(steady_seconds()) {}
+
+void MetricRegistry::ScopedTimer::stop() {
+  if (!armed_) return;
+  armed_ = false;
+  registry_.record_seconds(name_, steady_seconds() - start_);
+}
+
+MetricRegistry::ScopedTimer::~ScopedTimer() { stop(); }
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_[name] += v;
+  for (const auto& [name, v] : other.maxima_) {
+    auto& current = maxima_[name];
+    current = std::max(current, v);
+  }
+  for (const auto& [name, v] : other.timers_) {
+    auto& stat = timers_[name];
+    stat.seconds += v.seconds;
+    stat.count += v.count;
+  }
+}
+
+void MetricRegistry::write_json(report::JsonWriter& w) const {
+  w.begin_object();
+  if (!counters_.empty()) {
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : counters_) w.kv(name, v);
+    w.end_object();
+  }
+  if (!gauges_.empty()) {
+    w.key("gauges").begin_object();
+    for (const auto& [name, v] : gauges_) w.kv(name, v);
+    w.end_object();
+  }
+  if (!maxima_.empty()) {
+    w.key("high_water").begin_object();
+    for (const auto& [name, v] : maxima_) w.kv(name, v);
+    w.end_object();
+  }
+  if (!timers_.empty()) {
+    w.key("timers").begin_object();
+    for (const auto& [name, v] : timers_) {
+      w.key(name).begin_object();
+      w.kv("seconds", v.seconds);
+      w.kv("count", v.count);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace ffc::obs

@@ -1,0 +1,113 @@
+// Lightweight run metrics: counters, gauges, high-water marks, and scoped
+// wall-clock timers.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+//
+//   * One registry per task, never shared across threads. SweepRunner gives
+//     every task its own MetricRegistry and merges them -- in grid order --
+//     after the sweep, so there are no locks on any hot path and merged
+//     output is identical at every --jobs value.
+//   * Values are plain std::uint64_t / double. The DES keeps its raw
+//     counters as members and dumps them into a registry at collection time
+//     (NetworkSimulator::collect_metrics); nothing pays a map lookup per
+//     simulated event.
+//   * Merge semantics are per kind: counters and timers SUM, high-water
+//     marks take the MAX, gauges SUM (use them for additive quantities;
+//     non-additive readings belong in per-task sections, which survive the
+//     merge untouched).
+//
+// Serialization goes through report::JsonWriter; metric names are emitted
+// in sorted order so snapshots are byte-comparable across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ffc::report {
+class JsonWriter;
+}
+
+namespace ffc::obs {
+
+/// Accumulated wall-clock time of one named timer.
+struct TimerStat {
+  double seconds = 0.0;     ///< total measured wall time
+  std::uint64_t count = 0;  ///< number of measured intervals
+};
+
+class MetricRegistry {
+ public:
+  using CounterMap = std::map<std::string, std::uint64_t, std::less<>>;
+  using GaugeMap = std::map<std::string, double, std::less<>>;
+  using TimerMap = std::map<std::string, TimerStat, std::less<>>;
+
+  // ---- counters (monotonic event counts; merge sums) ----------------------
+  void add(std::string_view name, std::uint64_t delta = 1);
+  std::uint64_t counter(std::string_view name) const;  ///< 0 if absent
+
+  // ---- gauges (double readings; set overwrites, merge sums) ---------------
+  void set_gauge(std::string_view name, double value);
+  double gauge(std::string_view name) const;  ///< 0.0 if absent
+
+  // ---- high-water marks (merge takes the max) -----------------------------
+  void set_max(std::string_view name, std::uint64_t value);
+  std::uint64_t high_water(std::string_view name) const;  ///< 0 if absent
+
+  // ---- timers (merge sums seconds and counts) -----------------------------
+  void record_seconds(std::string_view name, double seconds);
+  TimerStat timer(std::string_view name) const;  ///< zeros if absent
+
+  /// RAII wall-clock timer: records the elapsed time into `registry` under
+  /// `name` when it goes out of scope (or at stop()).
+  class ScopedTimer {
+   public:
+    ScopedTimer(MetricRegistry& registry, std::string name);
+    ~ScopedTimer();
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    /// Records now and disarms the destructor.
+    void stop();
+
+   private:
+    MetricRegistry& registry_;
+    std::string name_;
+    double start_;  // steady-clock seconds
+    bool armed_ = true;
+  };
+
+  /// Starts a scoped timer on this registry.
+  ScopedTimer time(std::string name) { return ScopedTimer(*this, std::move(name)); }
+
+  /// Folds `other` into this registry: counters/gauges/timers sum,
+  /// high-water marks take the max. Merging is associative and commutative,
+  /// so the merged result is independent of task completion order.
+  void merge(const MetricRegistry& other);
+
+  /// True if nothing has been recorded.
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && maxima_.empty() &&
+           timers_.empty();
+  }
+
+  const CounterMap& counters() const { return counters_; }
+  const GaugeMap& gauges() const { return gauges_; }
+  const CounterMap& maxima() const { return maxima_; }
+  const TimerMap& timers() const { return timers_; }
+
+  /// Writes the registry as one JSON object with up to four sections
+  /// ("counters", "gauges", "high_water", "timers"; empty sections are
+  /// omitted). Timer entries expand to {"seconds": s, "count": n} -- the
+  /// "seconds" key marks them as timing for manifest comparison.
+  void write_json(report::JsonWriter& w) const;
+
+ private:
+  CounterMap counters_;
+  GaugeMap gauges_;
+  CounterMap maxima_;
+  TimerMap timers_;
+};
+
+}  // namespace ffc::obs

@@ -17,7 +17,10 @@ AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
 }
 
 void AsciiPlot::add_point(double x, double y, char glyph) {
-  if (!std::isfinite(x) || !std::isfinite(y)) return;  // silently skip
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    ++non_finite_dropped_;  // unplottable, but reported in the footer
+    return;
+  }
   points_.push_back({x, y, glyph});
 }
 
@@ -116,6 +119,11 @@ void AsciiPlot::print(std::ostream& os) const {
   os << '\n';
   if (!x_label_.empty()) {
     os << std::string(margin + 2, ' ') << x_label_ << '\n';
+  }
+  if (non_finite_dropped_ > 0) {
+    os << std::string(margin + 2, ' ') << '(' << non_finite_dropped_
+       << " non-finite point" << (non_finite_dropped_ == 1 ? "" : "s")
+       << " dropped)\n";
   }
 }
 

@@ -22,8 +22,14 @@ class AsciiPlot {
   /// excluding axis decoration). Both dimensions must be >= 2.
   AsciiPlot(std::size_t width, std::size_t height);
 
-  /// Adds one point to the series drawn with `glyph`.
+  /// Adds one point to the series drawn with `glyph`. Points with a NaN or
+  /// infinite coordinate cannot be placed on the grid; they are dropped but
+  /// COUNTED, and print() renders a "(k non-finite points dropped)" footer
+  /// so divergent trajectories are visible instead of silently vanishing.
   void add_point(double x, double y, char glyph = '*');
+
+  /// Number of non-finite points dropped so far.
+  std::size_t non_finite_dropped() const { return non_finite_dropped_; }
 
   /// Adds a whole series of (x, y) points.
   void add_series(const std::vector<double>& xs,
@@ -53,6 +59,7 @@ class AsciiPlot {
 
   std::size_t width_;
   std::size_t height_;
+  std::size_t non_finite_dropped_ = 0;
   std::vector<Point> points_;
   bool have_x_range_ = false;
   bool have_y_range_ = false;

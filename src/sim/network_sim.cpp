@@ -4,6 +4,7 @@
 
 #include "sim/fair_queueing.hpp"
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace ffc::sim {
@@ -129,6 +130,7 @@ void NetworkSimulator::packet_departed_gateway(Packet packet) {
         delay_samples_[i].push_back(delay);
       }
       ++delivered_[i];
+      ++packets_delivered_total_;
     });
   } else {
     sim_.schedule_in(latency, [this, p = std::move(packet)]() mutable {
@@ -187,6 +189,23 @@ std::uint64_t NetworkSimulator::delivered(network::ConnectionId i) const {
 const std::vector<double>& NetworkSimulator::delay_samples(
     network::ConnectionId i) const {
   return delay_samples_.at(i);
+}
+
+void NetworkSimulator::collect_metrics(obs::MetricRegistry& registry) const {
+  registry.add("des.events_processed", sim_.events_processed());
+  registry.set_max("des.calendar_high_water", sim_.calendar_high_water());
+  registry.add("net.packets_generated", next_packet_id_);
+  registry.add("net.packets_delivered", packets_delivered_total_);
+  std::uint64_t served = 0;
+  for (network::GatewayId a = 0; a < servers_.size(); ++a) {
+    servers_[a]->flush_metrics();
+    const std::string prefix = "net.gateway" + std::to_string(a) + ".";
+    registry.add(prefix + "packets_served", servers_[a]->packets_served());
+    registry.set_gauge(prefix + "mean_queue",
+                       servers_[a]->mean_total_occupancy());
+    served += servers_[a]->packets_served();
+  }
+  registry.add("net.packets_served", served);
 }
 
 }  // namespace ffc::sim

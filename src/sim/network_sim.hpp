@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "network/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/server.hpp"
 #include "sim/simulator.hpp"
 #include "stats/summary.hpp"
@@ -72,6 +73,23 @@ class NetworkSimulator {
   std::uint64_t events_processed() const { return sim_.events_processed(); }
   const network::Topology& topology() const { return topology_; }
 
+  /// Lifetime packets injected by the Poisson sources.
+  std::uint64_t packets_generated() const { return next_packet_id_; }
+
+  /// Lifetime packets absorbed by sinks (sum over connections; unlike
+  /// delivered(i) this is NOT cleared by reset_metrics()).
+  std::uint64_t packets_delivered_total() const {
+    return packets_delivered_total_;
+  }
+
+  /// Dumps the DES counters into `registry` under dotted names (schema in
+  /// docs/OBSERVABILITY.md): des.events_processed, des.calendar_high_water,
+  /// net.packets_generated / _delivered / _served, and per-gateway
+  /// net.gateway<a>.{packets_served, mean_queue}. The occupancy gauges are
+  /// time averages since the last reset_metrics(); everything else counts
+  /// from construction.
+  void collect_metrics(obs::MetricRegistry& registry) const;
+
  private:
   void schedule_next_arrival(network::ConnectionId i, std::uint64_t gen);
   void packet_departed_gateway(Packet packet);
@@ -94,6 +112,7 @@ class NetworkSimulator {
   std::vector<stats::OnlineStats> delay_stats_;
   std::vector<std::vector<double>> delay_samples_;
   std::vector<std::uint64_t> delivered_;
+  std::uint64_t packets_delivered_total_ = 0;
   double metrics_start_ = 0.0;
   std::uint64_t next_packet_id_ = 0;
 };

@@ -29,6 +29,14 @@ void GatewayServer::occupancy_delta(std::size_t local_conn, int delta) {
   if (in_system_[local_conn] < 0) {
     throw std::logic_error("GatewayServer: negative occupancy");
   }
+  // Every +1 is one accepted packet, every -1 one completed service; the
+  // preemption path moves jobs between queues without touching occupancy,
+  // so these are exact arrival/departure counts.
+  if (delta > 0) {
+    packets_arrived_ += static_cast<std::uint64_t>(delta);
+  } else {
+    packets_served_ += static_cast<std::uint64_t>(-delta);
+  }
   total_in_system_ =
       static_cast<std::size_t>(static_cast<long>(total_in_system_) + delta);
   occupancy_[local_conn].update(sim_.now(),

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -56,6 +57,12 @@ class GatewayServer {
   /// Total time-average number in system across connections.
   double mean_total_occupancy() const;
 
+  /// Lifetime packets accepted / served by this gateway. Unlike the
+  /// occupancy integrators these are NOT cleared by reset_metrics(): they
+  /// are run-manifest counters, not per-epoch statistics.
+  std::uint64_t packets_arrived() const { return packets_arrived_; }
+  std::uint64_t packets_served() const { return packets_served_; }
+
   /// Discards occupancy history (warm-up removal / epoch reset).
   void reset_metrics();
 
@@ -80,6 +87,8 @@ class GatewayServer {
   DepartureHandler on_departure_;
   std::vector<int> in_system_;
   std::size_t total_in_system_ = 0;
+  std::uint64_t packets_arrived_ = 0;
+  std::uint64_t packets_served_ = 0;
   std::vector<stats::TimeWeightedStats> occupancy_;
 };
 

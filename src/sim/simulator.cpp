@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -11,7 +12,9 @@ void Simulator::schedule_at(double t, Callback cb) {
     throw std::invalid_argument("Simulator: cannot schedule in the past");
   }
   if (!cb) throw std::invalid_argument("Simulator: empty callback");
-  events_.push(Event{t, next_seq_++, std::move(cb)});
+  events_.push_back(Event{t, next_seq_++, std::move(cb)});
+  std::push_heap(events_.begin(), events_.end(), Later{});
+  calendar_high_water_ = std::max(calendar_high_water_, events_.size());
 }
 
 void Simulator::schedule_in(double dt, Callback cb) {
@@ -23,13 +26,12 @@ void Simulator::schedule_in(double dt, Callback cb) {
 
 bool Simulator::step() {
   if (events_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB, so
-  // copy the callback (events are small; the callback is the only payload).
-  Event ev = events_.top();
-  events_.pop();
+  std::pop_heap(events_.begin(), events_.end(), Later{});
+  Event ev = std::move(events_.back());
+  events_.pop_back();
   now_ = ev.time;
   ++processed_;
-  ev.cb();
+  ev.cb();  // moved, not copied: the callback owns its captures exclusively
   return true;
 }
 
@@ -37,7 +39,7 @@ void Simulator::run_until(double t) {
   if (t < now_) {
     throw std::invalid_argument("Simulator: cannot run backwards");
   }
-  while (!events_.empty() && events_.top().time <= t) {
+  while (!events_.empty() && events_.front().time <= t) {
     step();
   }
   now_ = t;

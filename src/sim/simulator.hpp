@@ -5,11 +5,16 @@
 // that need to cancel pending completions (preemptive priority) use
 // generation counters on their side rather than a cancellation API, keeping
 // the calendar allocation-free of bookkeeping.
+//
+// The calendar is a hand-rolled binary heap (std::push_heap/std::pop_heap
+// over a std::vector) rather than std::priority_queue: priority_queue::top()
+// is const, which forced step() to COPY each event -- std::function and all
+// of its captured state -- once per event. Popping to the vector's back lets
+// the callback be moved out instead.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace ffc::sim {
@@ -42,6 +47,13 @@ class Simulator {
   /// Total number of events executed.
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Events pending right now.
+  std::size_t calendar_size() const { return events_.size(); }
+
+  /// Largest number of simultaneously pending events seen so far -- the
+  /// calendar's memory high-water mark.
+  std::size_t calendar_high_water() const { return calendar_high_water_; }
+
  private:
   struct Event {
     double time;
@@ -49,6 +61,8 @@ class Simulator {
     Callback cb;
   };
   struct Later {
+    // Max-heap comparator on "fires later", so the heap front is the
+    // earliest event (ties broken FIFO by sequence number).
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
@@ -58,7 +72,8 @@ class Simulator {
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::size_t calendar_high_water_ = 0;
+  std::vector<Event> events_;  ///< binary heap ordered by Later
 };
 
 }  // namespace ffc::sim

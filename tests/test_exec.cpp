@@ -272,6 +272,80 @@ TEST(SweepCli, DefaultsAreSerialWithGivenSeed) {
   EXPECT_EQ(cli.options.jobs, 1u);
   EXPECT_EQ(cli.options.base_seed, 2024u);
   EXPECT_FALSE(cli.help);
+  EXPECT_FALSE(cli.error);
+  EXPECT_TRUE(cli.metrics_out.empty());
+}
+
+// Regression: "--jobs --seed 5" used to consume "--seed" as the value of
+// --jobs, silently parse it as 0 (= all hardware threads), and drop the
+// seed. A flag-like token is never a value; the parse must fail loudly.
+TEST(SweepCli, JobsRefusesFlagLikeValueInsteadOfEatingNextFlag) {
+  const char* argv[] = {"prog", "--jobs", "--seed", "5"};
+  const auto cli = exec::parse_sweep_cli(4, const_cast<char**>(argv), 1);
+  EXPECT_TRUE(cli.error);
+}
+
+TEST(SweepCli, JobsMissingValueAtEndOfLineIsAnError) {
+  const char* argv[] = {"prog", "--jobs"};
+  const auto cli = exec::parse_sweep_cli(2, const_cast<char**>(argv), 1);
+  EXPECT_TRUE(cli.error);
+}
+
+TEST(SweepCli, JobsEqualsEmptyIsAnError) {
+  const char* argv[] = {"prog", "--jobs="};
+  const auto cli = exec::parse_sweep_cli(2, const_cast<char**>(argv), 1);
+  EXPECT_TRUE(cli.error);
+}
+
+TEST(SweepCli, NonNumericAndTrailingJunkValuesAreErrors) {
+  const char* argv1[] = {"prog", "--jobs", "junk"};
+  EXPECT_TRUE(exec::parse_sweep_cli(3, const_cast<char**>(argv1), 1).error);
+
+  const char* argv2[] = {"prog", "--seed", "5x"};
+  EXPECT_TRUE(exec::parse_sweep_cli(3, const_cast<char**>(argv2), 1).error);
+
+  const char* argv3[] = {"prog", "--jobs=1.5"};
+  EXPECT_TRUE(exec::parse_sweep_cli(2, const_cast<char**>(argv3), 1).error);
+
+  const char* argv4[] = {"prog", "--seed", "-3"};
+  EXPECT_TRUE(exec::parse_sweep_cli(3, const_cast<char**>(argv4), 1).error);
+}
+
+TEST(SweepCli, ErrorDoesNotCorruptEarlierOptions) {
+  const char* argv[] = {"prog", "--seed", "99", "--jobs", "junk"};
+  const auto cli = exec::parse_sweep_cli(5, const_cast<char**>(argv), 1);
+  EXPECT_TRUE(cli.error);
+  EXPECT_EQ(cli.options.base_seed, 99u);  // parsed before the bad flag
+}
+
+TEST(SweepCli, ParsesMetricsOutBothForms) {
+  const char* argv1[] = {"prog", "--metrics-out", "m.json"};
+  auto cli = exec::parse_sweep_cli(3, const_cast<char**>(argv1), 1);
+  EXPECT_FALSE(cli.error);
+  EXPECT_EQ(cli.metrics_out, "m.json");
+
+  const char* argv2[] = {"prog", "--metrics-out=run/m.json", "--jobs", "2"};
+  cli = exec::parse_sweep_cli(4, const_cast<char**>(argv2), 1);
+  EXPECT_FALSE(cli.error);
+  EXPECT_EQ(cli.metrics_out, "run/m.json");
+  EXPECT_EQ(cli.options.jobs, 2u);
+}
+
+TEST(SweepCli, MetricsOutRefusesFlagLikeOrMissingValue) {
+  const char* argv1[] = {"prog", "--metrics-out", "--jobs", "2"};
+  EXPECT_TRUE(exec::parse_sweep_cli(4, const_cast<char**>(argv1), 1).error);
+
+  const char* argv2[] = {"prog", "--metrics-out"};
+  EXPECT_TRUE(exec::parse_sweep_cli(2, const_cast<char**>(argv2), 1).error);
+}
+
+TEST(SweepCli, UnknownArgumentsAreStillIgnored) {
+  // Historical contract: unknown arguments warn and are skipped, so
+  // experiment-specific flags can coexist with the sweep flags.
+  const char* argv[] = {"prog", "--whatever", "--jobs", "3"};
+  const auto cli = exec::parse_sweep_cli(4, const_cast<char**>(argv), 1);
+  EXPECT_FALSE(cli.error);
+  EXPECT_EQ(cli.options.jobs, 3u);
 }
 
 }  // namespace

@@ -135,6 +135,31 @@ TEST(AsciiPlot, SkipsNonFinitePoints) {
   EXPECT_EQ(plot.to_string().find('#'), std::string::npos);
 }
 
+TEST(AsciiPlot, CountsAndReportsDroppedNonFinitePoints) {
+  AsciiPlot plot(10, 5);
+  plot.add_point(std::nan(""), 1.0, '#');
+  plot.add_point(1.0, std::numeric_limits<double>::infinity(), '#');
+  plot.add_point(0.5, 0.5, '#');
+  EXPECT_EQ(plot.non_finite_dropped(), 2u);
+  // Dropped points are announced in the rendering, not silently swallowed.
+  EXPECT_NE(plot.to_string().find("(2 non-finite points dropped)"),
+            std::string::npos);
+}
+
+TEST(AsciiPlot, SingularDropUsesSingularFooter) {
+  AsciiPlot plot(10, 5);
+  plot.add_point(std::nan(""), 1.0);
+  EXPECT_NE(plot.to_string().find("(1 non-finite point dropped)"),
+            std::string::npos);
+}
+
+TEST(AsciiPlot, NoFooterWhenAllPointsArePlottable) {
+  AsciiPlot plot(10, 5);
+  plot.add_point(0.5, 0.5, '*');
+  EXPECT_EQ(plot.non_finite_dropped(), 0u);
+  EXPECT_EQ(plot.to_string().find("dropped"), std::string::npos);
+}
+
 TEST(AsciiPlot, AutoRangeFitsData) {
   AsciiPlot plot(20, 5);
   plot.add_point(-3.0, 10.0, '*');

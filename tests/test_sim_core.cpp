@@ -46,6 +46,61 @@ TEST(SimulatorCore, TiesFireInScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+// Pins the (time, sequence) FIFO contract hard: many simultaneous events,
+// interleaved with events at other times, must fire in exact schedule
+// order. A plain binary heap is NOT stable, so this only passes because the
+// calendar breaks time ties on the global schedule sequence number.
+TEST(SimulatorCore, ManyTiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  // Schedule 20 events at t=5 interleaved with events at t=2 and t=8; the
+  // t=5 block must come out 0..19 regardless of heap layout.
+  for (int k = 0; k < 20; ++k) {
+    sim.schedule_at(5.0, [&, k] { order.push_back(k); });
+    sim.schedule_at(2.0, [&] {});
+    sim.schedule_at(8.0, [&] {});
+  }
+  while (sim.step()) {
+  }
+  std::vector<int> expected(20);
+  for (int k = 0; k < 20; ++k) expected[k] = k;
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SimulatorCore, TiesScheduledFromCallbacksFireAfterEarlierTies) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(0);
+    // Scheduled at the current time from within a callback: runs after
+    // every event already queued at t=1, because its sequence is larger.
+    sim.schedule_at(1.0, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  while (sim.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SimulatorCore, CalendarSizeAndHighWaterTrackThePendingSet) {
+  Simulator sim;
+  EXPECT_EQ(sim.calendar_size(), 0u);
+  EXPECT_EQ(sim.calendar_high_water(), 0u);
+  sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.calendar_size(), 3u);
+  EXPECT_EQ(sim.calendar_high_water(), 3u);
+  sim.step();
+  EXPECT_EQ(sim.calendar_size(), 2u);
+  // High water is a lifetime maximum; draining does not lower it.
+  EXPECT_EQ(sim.calendar_high_water(), 3u);
+  sim.run_until(10.0);
+  EXPECT_EQ(sim.calendar_size(), 0u);
+  EXPECT_EQ(sim.calendar_high_water(), 3u);
+}
+
 TEST(SimulatorCore, RunUntilLeavesClockAtTarget) {
   Simulator sim;
   int fired = 0;
