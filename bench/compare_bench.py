@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two ffc.bench.v1 perf snapshots and fail on regression.
+
+usage: compare_bench.py BASE.json NEW.json [--threshold PCT]
+
+Matches benchmarks across the two snapshots by (binary, benchmark name) and
+compares their throughput (items_per_second where the benchmark reports it,
+otherwise inverted cpu_time). Prints a delta table:
+
+    benchmark                         base items/s   new items/s    delta
+    perf_des/BM_FifoGateway/8            1.117e+07     1.412e+07   +26.4%
+
+Exit status:
+  0  no benchmark slowed down by more than --threshold percent (default 5)
+  1  at least one regression beyond the threshold
+  2  usage / input errors
+
+Benchmarks present in only one snapshot are listed informationally and never
+fail the gate (new benchmarks appear whenever a PR adds coverage; removed
+ones should be called out in review). The CMake target `bench-compare` runs
+this against the committed BENCH_PR<n>.json baseline -- see
+docs/PERFORMANCE.md for the snapshot workflow.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_snapshot(path):
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"compare_bench: cannot read {path}: {exc}")
+    if doc.get("schema") != "ffc.bench.v1":
+        sys.exit(f"compare_bench: {path}: expected schema ffc.bench.v1, "
+                 f"got {doc.get('schema')!r}")
+    entries = {}
+    for binary, result in sorted(doc.get("benchmarks", {}).items()):
+        for bench in result.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = f"{binary}/{bench['name']}"
+            entries[name] = bench
+    return entries
+
+
+def throughput(bench):
+    """items/s if reported, else 1/cpu_time -- higher is always better."""
+    items = bench.get("items_per_second")
+    if items is not None:
+        return float(items), "items/s"
+    cpu = float(bench["cpu_time"])
+    return (1e9 / cpu if cpu > 0 else 0.0), "runs/s"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two ffc.bench.v1 snapshots")
+    parser.add_argument("base", help="baseline snapshot (e.g. BENCH_PR2.json)")
+    parser.add_argument("new", help="candidate snapshot")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="max tolerated slowdown in percent (default 5)")
+    args = parser.parse_args()
+
+    base = load_snapshot(args.base)
+    new = load_snapshot(args.new)
+
+    common = [name for name in base if name in new]
+    only_base = [name for name in base if name not in new]
+    only_new = [name for name in new if name not in base]
+
+    width = max((len(n) for n in common), default=20)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'new':>12}  {'delta':>8}")
+    regressions = []
+    for name in common:
+        b, unit = throughput(base[name])
+        n, _ = throughput(new[name])
+        delta = (n / b - 1.0) * 100.0 if b > 0 else float("inf")
+        flag = ""
+        if delta < -args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {b:>12.4g}  {n:>12.4g}  {delta:>+7.1f}%"
+              f"{flag}")
+
+    for name in only_new:
+        t, unit = throughput(new[name])
+        print(f"{name:<{width}}  {'-':>12}  {t:>12.4g}      new")
+    for name in only_base:
+        print(f"{name:<{width}}  (missing from {args.new})")
+
+    print(f"\n{len(common)} compared, {len(only_new)} new, "
+          f"{len(only_base)} missing, {len(regressions)} regressed "
+          f"(threshold {args.threshold:.1f}%)")
+    if regressions:
+        for name, delta in regressions:
+            print(f"compare_bench: REGRESSION {name}: {delta:+.1f}%",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

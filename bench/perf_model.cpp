@@ -1,8 +1,11 @@
 // Microbenchmarks: the flow-control model's hot paths -- one synchronous
-// step, a full observation, and the numerical Jacobian.
+// step, a full observation, and the numerical Jacobian -- plus the large-N
+// workspace family and the reference-vs-optimized pairs that demonstrate
+// the O(N^2) -> O(N log N) rewrites (docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/ffc.hpp"
 #include "stats/rng.hpp"
@@ -59,6 +62,110 @@ void BM_ModelObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModelObserve)->Arg(4)->Arg(16)->Arg(64);
+
+// The allocation-free workspace step at a single shared bottleneck, the
+// regime where every connection meets at one gateway and the per-gateway
+// work dominates. items/s counts connections stepped per second, so a flat
+// curve here means the step really is O(N log N) per gateway -- the
+// pre-rewrite O(N^2) inner loops made this family collapse by N = 1024.
+void model_step_workspace(benchmark::State& state, core::FeedbackStyle style,
+                          bool fair_share) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::shared_ptr<const queueing::ServiceDiscipline> disc;
+  if (fair_share) {
+    disc = std::make_shared<queueing::FairShare>();
+  } else {
+    disc = std::make_shared<queueing::Fifo>();
+  }
+  core::FlowControlModel model(
+      network::single_bottleneck(n, 1.0), std::move(disc),
+      std::make_shared<core::RationalSignal>(), style,
+      std::make_shared<core::AdditiveTsi>(0.1, 0.5));
+  stats::Xoshiro256 rng(9);
+  std::vector<double> rates(n);
+  for (double& x : rates) x = rng.uniform(0.0, 0.9 / static_cast<double>(n));
+  core::ModelWorkspace ws;
+  model.step(rates, ws);  // validate + warm the workspace once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.step_unchecked(rates, ws));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK_CAPTURE(model_step_workspace, fifo_aggregate,
+                  core::FeedbackStyle::Aggregate, false)
+    ->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(model_step_workspace, fifo_individual,
+                  core::FeedbackStyle::Individual, false)
+    ->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(model_step_workspace, fairshare_aggregate,
+                  core::FeedbackStyle::Aggregate, true)
+    ->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(model_step_workspace, fairshare_individual,
+                  core::FeedbackStyle::Individual, true)
+    ->Arg(64)->Arg(256)->Arg(1024);
+
+// Reference-vs-optimized pairs. The *_reference functions are the original
+// O(N^2) formulations kept in-tree for the golden-equivalence tests; these
+// benchmarks measure the asymptotic win directly (items/s = rates per
+// second through the transform).
+std::vector<double> bench_rates(std::size_t n) {
+  stats::Xoshiro256 rng(31);
+  std::vector<double> r(n);
+  for (double& x : r) x = rng.uniform(0.0, 1.5 / static_cast<double>(n));
+  return r;
+}
+
+void BM_CumulativeLoads(benchmark::State& state) {
+  const auto rates = bench_rates(static_cast<std::size_t>(state.range(0)));
+  queueing::DisciplineWorkspace ws;
+  std::vector<double> out;
+  queueing::FairShare::cumulative_loads_into(rates, 1.0, ws, out);
+  for (auto _ : state) {
+    queueing::FairShare::cumulative_loads_into(rates, 1.0, ws, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CumulativeLoads)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CumulativeLoadsReference(benchmark::State& state) {
+  const auto rates = bench_rates(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        queueing::FairShare::cumulative_loads_reference(rates, 1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CumulativeLoadsReference)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_IndividualCongestion(benchmark::State& state) {
+  const auto queues = bench_rates(static_cast<std::size_t>(state.range(0)));
+  core::CongestionWorkspace ws;
+  std::vector<double> out;
+  core::congestion_measures_into(core::FeedbackStyle::Individual, queues, ws,
+                                 out);
+  for (auto _ : state) {
+    core::congestion_measures_into(core::FeedbackStyle::Individual, queues,
+                                   ws, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IndividualCongestion)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_IndividualCongestionReference(benchmark::State& state) {
+  const auto queues = bench_rates(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::individual_congestion_reference(queues));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IndividualCongestionReference)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_Jacobian(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace ffc::core {
@@ -16,6 +17,48 @@ void check_queues(const std::vector<double>& queues) {
   }
 }
 
+// Argsort with index tie-break: reproduces stable_sort's permutation
+// without its temporary allocation (this runs in the per-step fast path).
+void argsort_into(const std::vector<double>& values,
+                  std::vector<std::size_t>& order) {
+  order.resize(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
+}
+
+void individual_congestion_into(const std::vector<double>& queues,
+                                CongestionWorkspace& ws,
+                                std::vector<double>& out) {
+  const std::size_t n = queues.size();
+  out.resize(n);
+  argsort_into(queues, ws.order);
+
+  // sum_k min(Q_k, Q_i) over the sorted order: queues at or below Q_i
+  // contribute themselves, larger ones contribute Q_i. Walking tie groups
+  // keeps tied connections bitwise identical and avoids 0 * inf for an
+  // all-infinite tail group.
+  double prefix = 0.0;  // sum of sorted queues strictly before the group
+  std::size_t p = 0;
+  while (p < n) {
+    const double qp = queues[ws.order[p]];
+    std::size_t end = p;
+    double group_sum = 0.0;
+    while (end < n && queues[ws.order[end]] == qp) {
+      group_sum += qp;
+      ++end;
+    }
+    const std::size_t above = n - end;
+    const double c =
+        prefix + group_sum + (above == 0 ? 0.0 : static_cast<double>(above) * qp);
+    for (std::size_t k = p; k < end; ++k) out[ws.order[k]] = c;
+    prefix += group_sum;
+    p = end;
+  }
+}
+
 }  // namespace
 
 double aggregate_congestion(const std::vector<double>& queues) {
@@ -26,6 +69,15 @@ double aggregate_congestion(const std::vector<double>& queues) {
 }
 
 std::vector<double> individual_congestion(const std::vector<double>& queues) {
+  check_queues(queues);
+  CongestionWorkspace ws;
+  std::vector<double> out;
+  individual_congestion_into(queues, ws, out);
+  return out;
+}
+
+std::vector<double> individual_congestion_reference(
+    const std::vector<double>& queues) {
   check_queues(queues);
   std::vector<double> c(queues.size(), 0.0);
   for (std::size_t i = 0; i < queues.size(); ++i) {
@@ -38,10 +90,24 @@ std::vector<double> individual_congestion(const std::vector<double>& queues) {
 
 std::vector<double> congestion_measures(FeedbackStyle style,
                                         const std::vector<double>& queues) {
+  check_queues(queues);
+  CongestionWorkspace ws;
+  std::vector<double> out;
+  congestion_measures_into(style, queues, ws, out);
+  return out;
+}
+
+void congestion_measures_into(FeedbackStyle style,
+                              const std::vector<double>& queues,
+                              CongestionWorkspace& ws,
+                              std::vector<double>& out) {
   if (style == FeedbackStyle::Aggregate) {
-    return std::vector<double>(queues.size(), aggregate_congestion(queues));
+    double total = 0.0;
+    for (double q : queues) total += q;
+    out.assign(queues.size(), total);
+    return;
   }
-  return individual_congestion(queues);
+  individual_congestion_into(queues, ws, out);
 }
 
 }  // namespace ffc::core

@@ -8,8 +8,15 @@
 //                 its own)
 // The gateway then signals b^a_i = B(C^a_i or C^a), and each source combines
 // signals across its path bottleneck-style: b_i = max_a b^a_i.
+//
+// The individual measure is computed in O(N log N): sort the queues once,
+// then sum_k min(Q_k, Q_i) telescopes into a prefix sum (everything at or
+// below Q_i contributes itself, everything above contributes Q_i). The
+// naive O(N^2) min-sum survives as individual_congestion_reference for
+// golden-equivalence tests and benchmarks.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace ffc::core {
@@ -18,6 +25,11 @@ namespace ffc::core {
 enum class FeedbackStyle {
   Aggregate,
   Individual,
+};
+
+/// Reusable scratch for the allocation-free congestion fast path.
+struct CongestionWorkspace {
+  std::vector<std::size_t> order;  ///< sort permutation of the queues
 };
 
 /// C^a = sum of queue lengths. Infinite entries propagate to +infinity.
@@ -30,9 +42,24 @@ double aggregate_congestion(const std::vector<double>& queues);
 /// senders at an overloaded gateway.
 std::vector<double> individual_congestion(const std::vector<double>& queues);
 
+/// The original O(N^2) min-sum formulation, kept as the golden reference
+/// for equivalence tests and benchmarks.
+std::vector<double> individual_congestion_reference(
+    const std::vector<double>& queues);
+
 /// Dispatches on `style`: returns the per-connection congestion measures
 /// (aggregate replicates C^a for every connection).
 std::vector<double> congestion_measures(FeedbackStyle style,
                                         const std::vector<double>& queues);
+
+/// Unchecked, allocation-free fast path: writes the measures into `out`
+/// (resized to queues.size()), reusing the workspace's sort buffer. The
+/// caller guarantees the queues are nonnegative and non-NaN (entries may be
+/// +infinity) -- FlowControlModel's observables satisfy this by
+/// construction.
+void congestion_measures_into(FeedbackStyle style,
+                              const std::vector<double>& queues,
+                              CongestionWorkspace& ws,
+                              std::vector<double>& out);
 
 }  // namespace ffc::core

@@ -11,11 +11,11 @@ namespace {
 
 constexpr double kDivergenceBound = 1e12;
 
-bool state_close(const std::vector<double>& a, const std::vector<double>& b,
-                 double tol) {
+// Rows of the flat analysis window (row-major [t][i]).
+bool rows_close(const double* a, const double* b, std::size_t n, double tol) {
   double scale = 1.0;
-  for (double x : a) scale = std::max(scale, std::fabs(x));
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::fabs(a[i]));
+  for (std::size_t i = 0; i < n; ++i) {
     if (std::fabs(a[i] - b[i]) > tol * scale) return false;
   }
   return true;
@@ -40,8 +40,21 @@ TrajectoryResult run_dynamics(const FlowControlModel& model,
   std::vector<double> r = std::move(initial);
   if (options.record_trajectory) result.trajectory.push_back(r);
 
+  // The model validates the rate vector once, on the first step; every
+  // iterate after that is the model's own output (finite and nonnegative by
+  // construction, re-checked by the divergence guard), so the loop runs on
+  // the unchecked allocation-free fast path.
+  ModelWorkspace ws;
+  bool validated = false;
+  const auto advance = [&]() {
+    const std::vector<double>& next =
+        validated ? model.step_unchecked(r, ws) : model.step(r, ws);
+    validated = true;
+    r = next;  // same size after the first step: capacity is reused
+  };
+
   for (std::size_t t = 0; t < options.transient; ++t) {
-    r = model.step(r);
+    advance();
     if (options.record_trajectory) result.trajectory.push_back(r);
     if (out_of_bounds(r)) {
       result.kind = OrbitKind::Diverged;
@@ -50,38 +63,42 @@ TrajectoryResult run_dynamics(const FlowControlModel& model,
     }
   }
 
-  // Collect the analysis window.
-  std::vector<std::vector<double>> window;
-  window.reserve(options.window);
-  window.push_back(r);
+  // Collect the analysis window into one flat row-major buffer: a single
+  // allocation instead of `window` per-iterate vectors.
+  const std::size_t n = r.size();
+  std::vector<double> window;
+  window.reserve(options.window * n);
+  window.insert(window.end(), r.begin(), r.end());
   for (std::size_t t = 1; t < options.window; ++t) {
-    r = model.step(r);
+    advance();
     if (options.record_trajectory) result.trajectory.push_back(r);
     if (out_of_bounds(r)) {
       result.kind = OrbitKind::Diverged;
       result.final_state = std::move(r);
       return result;
     }
-    window.push_back(r);
+    window.insert(window.end(), r.begin(), r.end());
   }
   result.final_state = r;
+  const std::size_t rows = window.size() / std::max<std::size_t>(n, 1);
 
-  const std::size_t n = r.size();
   result.envelope_min.assign(n, std::numeric_limits<double>::infinity());
   result.envelope_max.assign(n, -std::numeric_limits<double>::infinity());
-  for (const auto& state : window) {
+  for (std::size_t t = 0; t < rows; ++t) {
+    const double* row = window.data() + t * n;
     for (std::size_t i = 0; i < n; ++i) {
-      result.envelope_min[i] = std::min(result.envelope_min[i], state[i]);
-      result.envelope_max[i] = std::max(result.envelope_max[i], state[i]);
+      result.envelope_min[i] = std::min(result.envelope_min[i], row[i]);
+      result.envelope_max[i] = std::max(result.envelope_max[i], row[i]);
     }
   }
 
   // Period detection: smallest p such that the window is p-periodic.
-  const std::size_t max_p = std::min(options.max_period, window.size() / 2);
+  const std::size_t max_p = std::min(options.max_period, rows / 2);
   for (std::size_t p = 1; p <= max_p; ++p) {
     bool periodic = true;
-    for (std::size_t t = 0; t + p < window.size(); ++t) {
-      if (!state_close(window[t], window[t + p], options.tolerance)) {
+    for (std::size_t t = 0; t + p < rows; ++t) {
+      if (!rows_close(window.data() + t * n, window.data() + (t + p) * n, n,
+                      options.tolerance)) {
         periodic = false;
         break;
       }
@@ -107,7 +124,21 @@ double largest_lyapunov_exponent(const FlowControlModel& model,
     throw std::invalid_argument("lyapunov: need at least one step");
   }
   std::vector<double> r = std::move(initial);
-  for (std::size_t t = 0; t < transient; ++t) r = model.step(r);
+
+  // One workspace serves both trajectories: each advance copies the result
+  // out of ws.next before the next call overwrites it. The reference
+  // trajectory's first step carries the boundary validation; the shadow is
+  // always derived from an already-validated reference iterate.
+  ModelWorkspace ws;
+  bool validated = false;
+  const auto advance = [&](std::vector<double>& x) {
+    const std::vector<double>& next =
+        validated ? model.step_unchecked(x, ws) : model.step(x, ws);
+    validated = true;
+    x = next;
+  };
+
+  for (std::size_t t = 0; t < transient; ++t) advance(r);
 
   const std::size_t n = r.size();
   std::vector<double> shadow = r;
@@ -120,8 +151,8 @@ double largest_lyapunov_exponent(const FlowControlModel& model,
   double log_sum = 0.0;
   std::size_t counted = 0;
   for (std::size_t t = 0; t < steps; ++t) {
-    r = model.step(r);
-    shadow = model.step(shadow);
+    advance(r);
+    advance(shadow);
     double dist = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double d = shadow[i] - r[i];

@@ -7,22 +7,6 @@
 
 namespace ffc::core {
 
-namespace {
-
-void check_rates(const std::vector<double>& rates, std::size_t expected) {
-  if (rates.size() != expected) {
-    throw std::invalid_argument("FlowControlModel: rate vector size mismatch");
-  }
-  for (double r : rates) {
-    if (std::isnan(r) || std::isinf(r) || r < 0.0) {
-      throw std::invalid_argument(
-          "FlowControlModel: rates must be finite and >= 0");
-    }
-  }
-}
-
-}  // namespace
-
 FlowControlModel::FlowControlModel(
     network::Topology topology,
     std::shared_ptr<const queueing::ServiceDiscipline> discipline,
@@ -44,6 +28,7 @@ FlowControlModel::FlowControlModel(
   for (const auto& adj : adjusters_) {
     if (!adj) throw std::invalid_argument("FlowControlModel: null adjuster");
   }
+  index_paths();
 }
 
 namespace {
@@ -74,70 +59,143 @@ FlowControlModel::FlowControlModel(
   for (const auto& adj : adjusters_) {
     if (!adj) throw std::invalid_argument("FlowControlModel: null adjuster");
   }
+  index_paths();
 }
 
-NetworkState FlowControlModel::observe(const std::vector<double>& rates) const {
-  check_rates(rates, topology_.num_connections());
-  NetworkState state;
+void FlowControlModel::index_paths() {
+  const std::size_t num_conn = topology_.num_connections();
+  local_at_hop_.assign(num_conn, {});
+  for (network::ConnectionId i = 0; i < num_conn; ++i) {
+    const auto& path = topology_.path(i);
+    local_at_hop_[i].reserve(path.size());
+    for (network::GatewayId a : path) {
+      const auto& members = topology_.connections_through(a);
+      const auto it = std::find(members.begin(), members.end(), i);
+      local_at_hop_[i].push_back(
+          static_cast<std::size_t>(it - members.begin()));
+    }
+  }
+}
+
+void FlowControlModel::validate_boundary(
+    const std::vector<double>& rates) const {
+  queueing::detail::count_validation();
+  if (rates.size() != topology_.num_connections()) {
+    throw std::invalid_argument("FlowControlModel: rate vector size mismatch");
+  }
+  for (double r : rates) {
+    if (std::isnan(r) || std::isinf(r) || r < 0.0) {
+      throw std::invalid_argument(
+          "FlowControlModel: rates must be finite and >= 0");
+    }
+  }
+}
+
+void FlowControlModel::observe_into(const std::vector<double>& rates,
+                                    ModelWorkspace& ws) const {
   const std::size_t num_gw = topology_.num_gateways();
   const std::size_t num_conn = topology_.num_connections();
+  NetworkState& state = ws.state;
   state.gateways.resize(num_gw);
   state.combined_signals.assign(num_conn, 0.0);
-  state.bottlenecks.assign(num_conn, {});
+  state.bottlenecks.resize(num_conn);
+  for (auto& b : state.bottlenecks) b.clear();
   state.delays.assign(num_conn, 0.0);
+  ws.local_rates.resize(num_gw);
+  ws.sojourns.resize(num_gw);
 
-  // Per-gateway observables.
-  std::vector<std::vector<double>> sojourns(num_gw);
+  // Per-gateway observables, all written into reused buffers.
   for (network::GatewayId a = 0; a < num_gw; ++a) {
     const auto& members = topology_.connections_through(a);
-    std::vector<double> local_rates(members.size());
+    std::vector<double>& local = ws.local_rates[a];
+    local.resize(members.size());
     for (std::size_t k = 0; k < members.size(); ++k) {
-      local_rates[k] = rates[members[k]];
+      local[k] = rates[members[k]];
     }
     const double mu = topology_.gateway(a).mu;
     GatewayObservation& obs = state.gateways[a];
-    obs.queues = discipline_->queue_lengths(local_rates, mu);
-    obs.congestion = congestion_measures(style_, obs.queues);
+    discipline_->queue_lengths_into(local, mu, ws.discipline, obs.queues);
+    congestion_measures_into(style_, obs.queues, ws.congestion, obs.congestion);
     obs.signals.resize(obs.congestion.size());
     for (std::size_t k = 0; k < obs.congestion.size(); ++k) {
       obs.signals[k] = (*signal_)(obs.congestion[k]);
     }
-    sojourns[a] = discipline_->sojourn_times(local_rates, mu);
+    discipline_->sojourn_times_into(local, mu, obs.queues, ws.discipline,
+                                    ws.sojourns[a]);
   }
 
   // Per-connection combination: bottleneck signal and round-trip delay.
+  // local_at_hop_ holds the precomputed Gamma(a)-local index of connection
+  // i at each hop, so this loop never searches the membership lists.
   for (network::ConnectionId i = 0; i < num_conn; ++i) {
+    const auto& path = topology_.path(i);
+    const auto& local_idx = local_at_hop_[i];
     double best = -1.0;
-    for (network::GatewayId a : topology_.path(i)) {
-      const auto& members = topology_.connections_through(a);
-      const std::size_t k = static_cast<std::size_t>(
-          std::find(members.begin(), members.end(), i) - members.begin());
+    for (std::size_t h = 0; h < path.size(); ++h) {
+      const network::GatewayId a = path[h];
+      const std::size_t k = local_idx[h];
       const double b = state.gateways[a].signals[k];
       if (b > best) best = b;
-      state.delays[i] += topology_.gateway(a).latency + sojourns[a][k];
+      state.delays[i] += topology_.gateway(a).latency + ws.sojourns[a][k];
     }
     state.combined_signals[i] = best;
     // Bottlenecks: every gateway achieving the max.
-    for (network::GatewayId a : topology_.path(i)) {
-      const auto& members = topology_.connections_through(a);
-      const std::size_t k = static_cast<std::size_t>(
-          std::find(members.begin(), members.end(), i) - members.begin());
-      if (state.gateways[a].signals[k] == best) {
-        state.bottlenecks[i].push_back(a);
+    for (std::size_t h = 0; h < path.size(); ++h) {
+      if (state.gateways[path[h]].signals[local_idx[h]] == best) {
+        state.bottlenecks[i].push_back(path[h]);
       }
     }
   }
-  return state;
+}
+
+void FlowControlModel::step_into(const std::vector<double>& rates,
+                                 ModelWorkspace& ws) const {
+  observe_into(rates, ws);
+  ws.next.resize(rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double f = (*adjusters_[i])(rates[i], ws.state.combined_signals[i],
+                                      ws.state.delays[i]);
+    ws.next[i] = std::max(0.0, rates[i] + f);
+  }
+}
+
+NetworkState FlowControlModel::observe(const std::vector<double>& rates) const {
+  validate_boundary(rates);
+  ModelWorkspace ws;
+  observe_into(rates, ws);
+  return std::move(ws.state);
+}
+
+void FlowControlModel::observe(const std::vector<double>& rates,
+                               ModelWorkspace& ws) const {
+  validate_boundary(rates);
+  observe_into(rates, ws);
 }
 
 std::vector<double> FlowControlModel::step(
     const std::vector<double>& rates) const {
-  return step(rates, observe(rates));
+  validate_boundary(rates);
+  ModelWorkspace ws;
+  step_into(rates, ws);
+  return std::move(ws.next);
+}
+
+const std::vector<double>& FlowControlModel::step(
+    const std::vector<double>& rates, ModelWorkspace& ws) const {
+  validate_boundary(rates);
+  step_into(rates, ws);
+  return ws.next;
+}
+
+const std::vector<double>& FlowControlModel::step_unchecked(
+    const std::vector<double>& rates, ModelWorkspace& ws) const {
+  step_into(rates, ws);
+  return ws.next;
 }
 
 std::vector<double> FlowControlModel::step(const std::vector<double>& rates,
                                            const NetworkState& state) const {
-  check_rates(rates, topology_.num_connections());
+  validate_boundary(rates);
   std::vector<double> next(rates.size());
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const double f = (*adjusters_[i])(rates[i], state.combined_signals[i],

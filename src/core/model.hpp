@@ -12,6 +12,13 @@
 // following the paper's modelling approximations: queues equilibrate
 // instantly, per-connection flows stay Poisson through the network, and
 // feedback is delay-free.
+//
+// Hot path (docs/PERFORMANCE.md): the workspace overloads of observe/step
+// validate the rate vector ONCE at this boundary, then run the unchecked
+// discipline/congestion fast paths against reusable buffers, so iterating
+// r̂ = F(r) performs zero heap allocations after the first call. The
+// allocating overloads remain as validated conveniences and produce
+// bitwise-identical results.
 #pragma once
 
 #include <memory>
@@ -41,6 +48,20 @@ struct NetworkState {
   std::vector<double> delays;                     ///< d_i (may be +infinity)
 };
 
+/// Reusable scratch for allocation-free model evaluation. All buffers grow
+/// to the model's sizes on first use and then stay put; a default-
+/// constructed workspace is valid for any model (and may be moved between
+/// models -- buffers are resized per call). One workspace serves one thread;
+/// sweep tasks each own theirs.
+struct ModelWorkspace {
+  NetworkState state;                            ///< observe() result
+  std::vector<double> next;                      ///< step() result
+  std::vector<std::vector<double>> local_rates;  ///< per-gateway rate slices
+  std::vector<std::vector<double>> sojourns;     ///< per-gateway sojourn times
+  queueing::DisciplineWorkspace discipline;
+  CongestionWorkspace congestion;
+};
+
 class FlowControlModel {
  public:
   /// Heterogeneous constructor: `adjusters` has one entry per connection.
@@ -62,12 +83,30 @@ class FlowControlModel {
   /// entries must be finite and >= 0).
   NetworkState observe(const std::vector<double>& rates) const;
 
+  /// Allocation-free observation: validates once, then fills ws.state
+  /// reusing the workspace buffers. Identical results to observe(rates).
+  void observe(const std::vector<double>& rates, ModelWorkspace& ws) const;
+
   /// One synchronous update r̂ = F(r).
   std::vector<double> step(const std::vector<double>& rates) const;
+
+  /// Allocation-free update: observes into the workspace and writes the
+  /// next iterate into ws.next (also returned). The reference is valid
+  /// until the next workspace call.
+  const std::vector<double>& step(const std::vector<double>& rates,
+                                  ModelWorkspace& ws) const;
 
   /// Same, reusing an observation already computed at `rates`.
   std::vector<double> step(const std::vector<double>& rates,
                            const NetworkState& state) const;
+
+  /// UNCHECKED update for validated iteration loops (dynamics, fixed-point
+  /// solvers, Jacobian probes): identical to step(rates, ws) but skips the
+  /// boundary validation. The caller must guarantee `rates` has
+  /// num_connections() finite, nonnegative entries -- e.g. because it came
+  /// out of a previous (validated) step of this model.
+  const std::vector<double>& step_unchecked(const std::vector<double>& rates,
+                                            ModelWorkspace& ws) const;
 
   /// Q^a_i from a NetworkState; throws std::invalid_argument if connection
   /// `i` does not traverse gateway `a`.
@@ -92,11 +131,23 @@ class FlowControlModel {
   FlowControlModel with_topology(network::Topology topology) const;
 
  private:
+  void index_paths();
+  /// Boundary validation: counts as THE one validation for this entry point
+  /// (see queueing::validation_count), then checks size/finiteness/sign.
+  void validate_boundary(const std::vector<double>& rates) const;
+  /// Unchecked workspace fast paths behind the validated public overloads.
+  void observe_into(const std::vector<double>& rates, ModelWorkspace& ws) const;
+  void step_into(const std::vector<double>& rates, ModelWorkspace& ws) const;
+
   network::Topology topology_;
   std::shared_ptr<const queueing::ServiceDiscipline> discipline_;
   std::shared_ptr<const SignalFunction> signal_;
   FeedbackStyle style_;
   std::vector<std::shared_ptr<const RateAdjustment>> adjusters_;
+  /// local_at_hop_[i][h]: index of connection i within Gamma(a) for the
+  /// h-th gateway a on its path. Precomputed so observe() never searches
+  /// the membership lists (the search made large fan-in gateways O(N^2)).
+  std::vector<std::vector<std::size_t>> local_at_hop_;
 };
 
 }  // namespace ffc::core

@@ -18,36 +18,45 @@ linalg::Matrix jacobian(const FlowControlModel& model,
   }
   linalg::Matrix df(n, n);
   std::vector<double> probe = rates;
+  // 2n F evaluations share one workspace; the first probe (rates with one
+  // coordinate nudged) carries the boundary validation for the whole batch,
+  // since every later probe differs from it only in one finite coordinate.
+  ModelWorkspace ws;
+  bool validated = false;
+  std::vector<double> f_plus, f_minus;
+  const auto eval = [&](std::vector<double>& out) {
+    out = validated ? model.step_unchecked(probe, ws) : model.step(probe, ws);
+    validated = true;
+  };
   for (std::size_t j = 0; j < n; ++j) {
     const double h =
         options.relative_step * std::max(std::fabs(rates[j]),
                                          options.step_floor /
                                              options.relative_step);
-    std::vector<double> f_plus, f_minus;
     double denom = 0.0;
     switch (options.scheme) {
       case JacobianOptions::Scheme::Central: {
         probe[j] = rates[j] + h;
-        f_plus = model.step(probe);
+        eval(f_plus);
         probe[j] = std::max(0.0, rates[j] - h);
-        f_minus = model.step(probe);
+        eval(f_minus);
         denom = (rates[j] + h) - probe[j];
         probe[j] = rates[j];
         break;
       }
       case JacobianOptions::Scheme::Forward: {
         probe[j] = rates[j] + h;
-        f_plus = model.step(probe);
+        eval(f_plus);
         probe[j] = rates[j];
-        f_minus = model.step(probe);
+        eval(f_minus);
         denom = h;
         break;
       }
       case JacobianOptions::Scheme::Backward: {
         probe[j] = rates[j];
-        f_plus = model.step(probe);
+        eval(f_plus);
         probe[j] = std::max(0.0, rates[j] - h);
-        f_minus = model.step(probe);
+        eval(f_minus);
         denom = rates[j] - probe[j];
         probe[j] = rates[j];
         break;

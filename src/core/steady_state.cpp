@@ -80,13 +80,27 @@ std::vector<double> fair_steady_state(const FlowControlModel& model) {
 FixedPointResult solve_fixed_point(const FlowControlModel& model,
                                    std::vector<double> initial,
                                    const FixedPointOptions& options) {
+  ModelWorkspace ws;
+  return solve_fixed_point(model, std::move(initial), options, ws);
+}
+
+FixedPointResult solve_fixed_point(const FlowControlModel& model,
+                                   std::vector<double> initial,
+                                   const FixedPointOptions& options,
+                                   ModelWorkspace& ws) {
   if (!(options.damping > 0.0) || options.damping > 1.0) {
     throw std::invalid_argument("solve_fixed_point: damping must be in (0,1]");
   }
   FixedPointResult result;
   result.rates = std::move(initial);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    const std::vector<double> next = model.step(result.rates);
+    // First step validates the initial vector; later iterates are damped
+    // blends of validated data and model output, so the loop stays on the
+    // unchecked fast path and allocates nothing.
+    const std::vector<double>& next = it == 0
+                                          ? model.step(result.rates, ws)
+                                          : model.step_unchecked(result.rates,
+                                                                 ws);
     double step_norm = 0.0;
     double scale = 1.0;
     for (std::size_t i = 0; i < next.size(); ++i) {
@@ -114,8 +128,18 @@ FixedPointResult newton_refine(const FlowControlModel& model,
   FixedPointResult result;
   result.rates = std::move(initial);
   const std::size_t n = result.rates.size();
+  // F(r) evaluations share one workspace; the first carries the boundary
+  // validation, later iterates are clamped Newton updates of valid data.
+  ModelWorkspace ws;
+  bool validated = false;
+  std::vector<double> fr;
+  const auto eval = [&]() {
+    fr = validated ? model.step_unchecked(result.rates, ws)
+                   : model.step(result.rates, ws);
+    validated = true;
+  };
   for (std::size_t it = 0; it < max_iterations; ++it) {
-    const std::vector<double> fr = model.step(result.rates);
+    eval();
     double residual = 0.0;
     double scale = 1.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -140,7 +164,7 @@ FixedPointResult newton_refine(const FlowControlModel& model,
     }
   }
   // Final residual check after the last step.
-  const std::vector<double> fr = model.step(result.rates);
+  eval();
   double residual = 0.0;
   double scale = 1.0;
   for (std::size_t i = 0; i < n; ++i) {

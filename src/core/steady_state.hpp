@@ -52,9 +52,19 @@ struct FixedPointResult {
 
 /// Iterates r <- r + damping (F(r) - r) from `initial` until the update is
 /// below tolerance * max(1, |r|_inf) or the iteration budget runs out.
+/// The initial vector is validated once; the loop then runs on the model's
+/// unchecked allocation-free fast path.
 FixedPointResult solve_fixed_point(const FlowControlModel& model,
                                    std::vector<double> initial,
                                    const FixedPointOptions& options = {});
+
+/// Workspace overload for callers that solve many fixed points (sweeps,
+/// bifurcation scans): reuses the caller's ModelWorkspace so repeated solves
+/// perform no per-iteration heap allocation.
+FixedPointResult solve_fixed_point(const FlowControlModel& model,
+                                   std::vector<double> initial,
+                                   const FixedPointOptions& options,
+                                   ModelWorkspace& ws);
 
 /// True iff |F(r) - r|_inf <= tol * max(1, |r|_inf).
 bool is_steady_state(const FlowControlModel& model,

@@ -9,37 +9,105 @@
 //   * monotone: dQ_i/dr_i >= 0 and Q_i > Q_j <=> r_i > r_j,
 // and feasible for a nonstalling server (see feasibility.hpp). All of these
 // are property-tested in tests/queueing.
+//
+// Two call paths (docs/PERFORMANCE.md):
+//   * the validated wrappers (queue_lengths / sojourn_times) allocate their
+//     result and validate the inputs -- one validation per call, counted by
+//     the validation_count() test hook;
+//   * the *_into primitives are the unchecked, allocation-free fast path:
+//     the caller owns validation (FlowControlModel validates once at its
+//     boundary) and passes a DisciplineWorkspace whose buffers are reused
+//     across calls, so a steady-state iterate performs no heap allocation.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
 
 namespace ffc::queueing {
 
+/// Reusable scratch buffers for the allocation-free discipline fast path.
+/// Buffers grow to the largest gateway seen and then stay put; a default-
+/// constructed workspace is valid for any call.
+struct DisciplineWorkspace {
+  std::vector<double> probed;       ///< sojourn probe rates
+  std::vector<double> scratch;      ///< per-connection doubles
+  std::vector<std::size_t> order;   ///< sort permutation
+};
+
 /// Interface for analytic service disciplines.
 class ServiceDiscipline {
  public:
   virtual ~ServiceDiscipline() = default;
 
-  /// Mean number of packets of each connection in the system, in the same
-  /// order as `rates`. Entries may be +infinity when the relevant load is at
-  /// or beyond capacity. Requires mu > 0 and all rates >= 0.
-  virtual std::vector<double> queue_lengths(const std::vector<double>& rates,
-                                            double mu) const = 0;
+  /// Mean number of packets of each connection in the system, written into
+  /// `out` (resized to rates.size()) in the same order as `rates`. Entries
+  /// may be +infinity when the relevant load is at or beyond capacity.
+  ///
+  /// UNCHECKED fast path: the caller must guarantee mu > 0 and all rates
+  /// finite and >= 0 (the validated wrapper below does). Implementations
+  /// must not allocate once the workspace buffers have warmed up.
+  virtual void queue_lengths_into(const std::vector<double>& rates, double mu,
+                                  DisciplineWorkspace& ws,
+                                  std::vector<double>& out) const = 0;
+
+  /// Validated, allocating convenience wrapper around queue_lengths_into.
+  /// Requires mu > 0 and all rates finite and >= 0. Defined inline below so
+  /// a call on a concrete (final) discipline devirtualizes and inlines the
+  /// *_into body.
+  std::vector<double> queue_lengths(const std::vector<double>& rates,
+                                    double mu) const;
 
   /// Human-readable name ("FIFO", "FairShare", ...).
   virtual std::string_view name() const = 0;
 
   /// Mean per-packet sojourn time of each connection at this gateway, by
   /// Little's law W_i = Q_i / r_i. For a zero-rate connection the value is
-  /// the limit as r_i -> 0+, evaluated numerically.
+  /// the limit as r_i -> 0+, evaluated numerically. Validated wrapper.
   std::vector<double> sojourn_times(const std::vector<double>& rates,
                                     double mu) const;
+
+  /// Unchecked, allocation-free sojourn times. `queues` must be the result
+  /// of queue_lengths_into at the same (rates, mu); when every rate is
+  /// positive the sojourns are computed directly from it (W_i = Q_i / r_i),
+  /// otherwise the zero-rate connections are probed exactly as the
+  /// validated wrapper does.
+  void sojourn_times_into(const std::vector<double>& rates, double mu,
+                          const std::vector<double>& queues,
+                          DisciplineWorkspace& ws,
+                          std::vector<double>& out) const;
 };
 
 /// Validates (mu, rates) preconditions shared by all disciplines; throws
-/// std::invalid_argument on violation.
+/// std::invalid_argument on violation. Counted by validation_count().
 void validate_rates(const std::vector<double>& rates, double mu);
+
+/// Test hook: number of rate-vector validations performed while counting
+/// was enabled -- every validate_rates call plus every model-boundary check
+/// that stands in for one (FlowControlModel validates once per external
+/// entry point and then uses the unchecked discipline fast path). Regression
+/// tests diff this counter to prove validation is not duplicated in inner
+/// loops.
+std::uint64_t validation_count();
+
+/// Enables/disables the validation counter. Off (the default) the hook is a
+/// relaxed load and branch -- no atomic contention on the hot path.
+void set_validation_counting(bool enabled);
+
+namespace detail {
+/// Bumps validation_count() without validating -- for boundary checks that
+/// perform their own (stricter) validation, e.g. FlowControlModel.
+void count_validation();
+}  // namespace detail
+
+inline std::vector<double> ServiceDiscipline::queue_lengths(
+    const std::vector<double>& rates, double mu) const {
+  validate_rates(rates, mu);
+  DisciplineWorkspace ws;
+  std::vector<double> out(rates.size());
+  queue_lengths_into(rates, mu, ws, out);
+  return out;
+}
 
 }  // namespace ffc::queueing

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "queueing/feasibility.hpp"
 
@@ -12,19 +13,66 @@ namespace ffc::queueing {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-std::vector<std::size_t> sorted_by_rate(const std::vector<double>& rates) {
-  std::vector<std::size_t> order(rates.size());
+// Argsort by increasing rate with ties keeping input order. Index tie-break
+// under std::sort reproduces std::stable_sort's permutation without the
+// temporary buffer stable_sort allocates -- this runs inside the
+// allocation-free fast path.
+void sorted_by_rate_into(const std::vector<double>& rates,
+                         std::vector<std::size_t>& order) {
+  order.resize(rates.size());
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
-                                                   std::size_t b) {
-    return rates[a] < rates[b];
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rates[a] != rates[b]) return rates[a] < rates[b];
+    return a < b;
   });
+}
+
+std::vector<std::size_t> sorted_by_rate(const std::vector<double>& rates) {
+  std::vector<std::size_t> order;
+  sorted_by_rate_into(rates, order);
   return order;
 }
 
 }  // namespace
 
+void FairShare::cumulative_loads_into(const std::vector<double>& rates,
+                                      double mu, DisciplineWorkspace& ws,
+                                      std::vector<double>& out) {
+  const std::size_t n = rates.size();
+  out.resize(n);
+  sorted_by_rate_into(rates, ws.order);
+
+  // sum_k min(r_k, r_i) telescopes over the sorted order: every rate at or
+  // below r_i contributes itself, every larger one contributes r_i. Walking
+  // tie groups keeps tied connections bitwise identical.
+  double prefix = 0.0;  // sum of sorted rates strictly before the group
+  std::size_t p = 0;
+  while (p < n) {
+    const double rp = rates[ws.order[p]];
+    std::size_t end = p;
+    double group_sum = 0.0;
+    while (end < n && rates[ws.order[end]] == rp) {
+      group_sum += rp;
+      ++end;
+    }
+    const double sigma =
+        (prefix + group_sum + static_cast<double>(n - end) * rp) / mu;
+    for (std::size_t k = p; k < end; ++k) out[ws.order[k]] = sigma;
+    prefix += group_sum;
+    p = end;
+  }
+}
+
 std::vector<double> FairShare::cumulative_loads(
+    const std::vector<double>& rates, double mu) {
+  validate_rates(rates, mu);
+  DisciplineWorkspace ws;
+  std::vector<double> sigma;
+  cumulative_loads_into(rates, mu, ws, sigma);
+  return sigma;
+}
+
+std::vector<double> FairShare::cumulative_loads_reference(
     const std::vector<double>& rates, double mu) {
   validate_rates(rates, mu);
   std::vector<double> sigma(rates.size(), 0.0);
@@ -36,14 +84,15 @@ std::vector<double> FairShare::cumulative_loads(
   return sigma;
 }
 
-std::vector<double> FairShare::queue_lengths(const std::vector<double>& rates,
-                                             double mu) const {
-  validate_rates(rates, mu);
+void FairShare::queue_lengths_into(const std::vector<double>& rates, double mu,
+                                   DisciplineWorkspace& ws,
+                                   std::vector<double>& out) const {
   const std::size_t n = rates.size();
-  std::vector<double> q(n, 0.0);
-  if (n == 0) return q;
+  out.assign(n, 0.0);
+  if (n == 0) return;
 
-  const std::vector<std::size_t> order = sorted_by_rate(rates);
+  sorted_by_rate_into(rates, ws.order);
+  const std::vector<std::size_t>& order = ws.order;
 
   // Recursion over sorted positions p = 0..n-1:
   //   sigma_p   = (sum_{k<=p} r_k + (n-1-p) r_p) / mu
@@ -55,19 +104,19 @@ std::vector<double> FairShare::queue_lengths(const std::vector<double>& rates,
     const double rp = rates[order[p]];
     prefix_rate += rp;
     if (saturated) {
-      q[order[p]] = rp > 0.0 ? kInf : 0.0;
+      out[order[p]] = rp > 0.0 ? kInf : 0.0;
       continue;
     }
     const double sigma =
         (prefix_rate + static_cast<double>(n - 1 - p) * rp) / mu;
     if (sigma >= 1.0) {
       saturated = true;
-      q[order[p]] = rp > 0.0 ? kInf : 0.0;
+      out[order[p]] = rp > 0.0 ? kInf : 0.0;
       continue;
     }
     const double value =
         (g(sigma) - prefix_queue) / static_cast<double>(n - p);
-    q[order[p]] = value;
+    out[order[p]] = value;
     prefix_queue += value;
   }
 
@@ -81,16 +130,15 @@ std::vector<double> FairShare::queue_lengths(const std::vector<double>& rates,
       double sum = 0.0;
       bool infinite = false;
       for (std::size_t k = p; k < end; ++k) {
-        infinite = infinite || std::isinf(q[order[k]]);
-        sum += q[order[k]];
+        infinite = infinite || std::isinf(out[order[k]]);
+        sum += out[order[k]];
       }
       const double avg =
           infinite ? kInf : sum / static_cast<double>(end - p);
-      for (std::size_t k = p; k < end; ++k) q[order[k]] = avg;
+      for (std::size_t k = p; k < end; ++k) out[order[k]] = avg;
     }
     p = end;
   }
-  return q;
 }
 
 FairShareDecomposition FairShare::decompose(const std::vector<double>& rates) {

@@ -16,6 +16,11 @@
 // Q_i depends only on rates r_j <= r_i -- the triangularity that drives
 // Theorem 4 -- and Q_i is finite whenever sigma_i < 1 even if the gateway as
 // a whole is overloaded (small senders are protected from large ones).
+//
+// Both queue_lengths and cumulative_loads run in O(N log N): one argsort of
+// the rates plus prefix-sum passes (sum_k min(r_k, r_i) telescopes into a
+// prefix of the sorted rates). The naive O(N^2) min-sum survives as
+// cumulative_loads_reference for golden-equivalence tests and benchmarks.
 #pragma once
 
 #include <cstddef>
@@ -42,8 +47,9 @@ struct FairShareDecomposition {
 
 class FairShare final : public ServiceDiscipline {
  public:
-  std::vector<double> queue_lengths(const std::vector<double>& rates,
-                                    double mu) const override;
+  void queue_lengths_into(const std::vector<double>& rates, double mu,
+                          DisciplineWorkspace& ws,
+                          std::vector<double>& out) const override;
   std::string_view name() const override { return "FairShare"; }
 
   /// Computes the Table-1 priority decomposition for the given rates.
@@ -52,9 +58,21 @@ class FairShare final : public ServiceDiscipline {
   static FairShareDecomposition decompose(const std::vector<double>& rates);
 
   /// sigma_i = sum_k min(r_k, r_i) / mu, the cumulative load relevant to
-  /// connection i (original index order).
+  /// connection i (original index order). Validated wrapper; O(N log N).
   static std::vector<double> cumulative_loads(const std::vector<double>& rates,
                                               double mu);
+
+  /// Unchecked, allocation-free cumulative loads: sorts once (ws.order) and
+  /// accumulates prefix sums, so tied rates get bitwise-identical sigmas.
+  /// Caller guarantees mu > 0 and finite, nonnegative rates.
+  static void cumulative_loads_into(const std::vector<double>& rates,
+                                    double mu, DisciplineWorkspace& ws,
+                                    std::vector<double>& out);
+
+  /// The original O(N^2) min-sum formulation, kept as the golden reference
+  /// for equivalence tests and for the perf_model asymptotic benchmarks.
+  static std::vector<double> cumulative_loads_reference(
+      const std::vector<double>& rates, double mu);
 };
 
 }  // namespace ffc::queueing

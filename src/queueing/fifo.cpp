@@ -1,28 +1,4 @@
 #include "queueing/fifo.hpp"
 
-#include <limits>
-
-namespace ffc::queueing {
-
-std::vector<double> Fifo::queue_lengths(const std::vector<double>& rates,
-                                        double mu) const {
-  validate_rates(rates, mu);
-  double rho_total = 0.0;
-  for (double r : rates) rho_total += r / mu;
-
-  std::vector<double> q(rates.size(), 0.0);
-  if (rho_total >= 1.0) {
-    // Overloaded gateway: every active connection's queue diverges; an idle
-    // connection has no packets.
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-      q[i] = rates[i] > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
-    }
-    return q;
-  }
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    q[i] = (rates[i] / mu) / (1.0 - rho_total);
-  }
-  return q;
-}
-
-}  // namespace ffc::queueing
+// Fifo is header-only (queue_lengths_into is defined inline in fifo.hpp so
+// hot loops can inline it); this TU just anchors the include.

@@ -7,14 +7,38 @@
 //   Q_i(r) = rho_i / (1 - rho_total),   rho_i = r_i / mu.
 #pragma once
 
+#include <limits>
+
 #include "queueing/discipline.hpp"
 
 namespace ffc::queueing {
 
 class Fifo final : public ServiceDiscipline {
  public:
-  std::vector<double> queue_lengths(const std::vector<double>& rates,
-                                    double mu) const override;
+  // Defined inline: the body is a two-pass loop, and keeping it visible lets
+  // calls on a concrete Fifo (the common case in the solver hot loops)
+  // devirtualize and inline it outright.
+  void queue_lengths_into(const std::vector<double>& rates, double mu,
+                          DisciplineWorkspace& /*ws*/,
+                          std::vector<double>& out) const override {
+    double rho_total = 0.0;
+    for (double r : rates) rho_total += r / mu;
+
+    out.resize(rates.size());
+    if (rho_total >= 1.0) {
+      // Overloaded gateway: every active connection's queue diverges; an
+      // idle connection has no packets.
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        out[i] =
+            rates[i] > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      out[i] = (rates[i] / mu) / (1.0 - rho_total);
+    }
+  }
+
   std::string_view name() const override { return "FIFO"; }
 };
 

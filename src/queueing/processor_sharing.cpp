@@ -4,22 +4,22 @@
 
 namespace ffc::queueing {
 
-std::vector<double> ProcessorSharing::queue_lengths(
-    const std::vector<double>& rates, double mu) const {
-  validate_rates(rates, mu);
+void ProcessorSharing::queue_lengths_into(const std::vector<double>& rates,
+                                          double mu,
+                                          DisciplineWorkspace& /*ws*/,
+                                          std::vector<double>& out) const {
   double rho_total = 0.0;
   for (double r : rates) rho_total += r / mu;
-  std::vector<double> q(rates.size(), 0.0);
+  out.resize(rates.size());
   if (rho_total >= 1.0) {
     for (std::size_t i = 0; i < rates.size(); ++i) {
-      q[i] = rates[i] > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+      out[i] = rates[i] > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
     }
-    return q;
+    return;
   }
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    q[i] = (rates[i] / mu) / (1.0 - rho_total);
+    out[i] = (rates[i] / mu) / (1.0 - rho_total);
   }
-  return q;
 }
 
 }  // namespace ffc::queueing

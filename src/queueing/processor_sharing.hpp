@@ -21,8 +21,9 @@ namespace ffc::queueing {
 
 class ProcessorSharing final : public ServiceDiscipline {
  public:
-  std::vector<double> queue_lengths(const std::vector<double>& rates,
-                                    double mu) const override;
+  void queue_lengths_into(const std::vector<double>& rates, double mu,
+                          DisciplineWorkspace& ws,
+                          std::vector<double>& out) const override;
   std::string_view name() const override { return "ProcessorSharing"; }
 };
 

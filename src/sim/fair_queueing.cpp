@@ -9,8 +9,8 @@ namespace ffc::sim {
 FairQueueingServer::FairQueueingServer(Simulator& sim, double mu,
                                        std::size_t num_local,
                                        stats::Xoshiro256 rng,
-                                       DepartureHandler on_departure)
-    : GatewayServer(sim, mu, num_local, rng, std::move(on_departure)),
+                                       PacketSink* sink)
+    : GatewayServer(sim, mu, num_local, rng, sink),
       backlog_(num_local),
       last_finish_(num_local, 0.0) {}
 
@@ -48,11 +48,10 @@ void FairQueueingServer::start_service() {
   backlog_[best].pop_front();
   virtual_time_ = in_service_->finish_tag;
   const std::uint64_t gen = ++generation_;
-  sim().schedule_in(in_service_->service_time,
-                    [this, gen] { complete(gen); });
+  schedule_completion_in(in_service_->service_time, gen);
 }
 
-void FairQueueingServer::complete(std::uint64_t generation) {
+void FairQueueingServer::on_service_complete(std::uint64_t generation) {
   if (generation != generation_ || !in_service_) return;
   Job job = std::move(*in_service_);
   in_service_.reset();

@@ -19,10 +19,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "sim/ring_queue.hpp"
 #include "sim/server.hpp"
 
 namespace ffc::sim {
@@ -30,24 +30,26 @@ namespace ffc::sim {
 class FairQueueingServer final : public GatewayServer {
  public:
   FairQueueingServer(Simulator& sim, double mu, std::size_t num_local,
-                     stats::Xoshiro256 rng, DepartureHandler on_departure);
+                     stats::Xoshiro256 rng, PacketSink* sink);
 
   void arrival(Packet packet, std::size_t local_conn) override;
 
+ protected:
+  void on_service_complete(std::uint64_t generation) override;
+
  private:
   void start_service();
-  void complete(std::uint64_t generation);
 
   struct Job {
     Packet packet;
-    std::size_t local_conn;
-    double service_time;  ///< sampled at arrival (the packet's "size")
-    double finish_tag;
+    std::size_t local_conn = 0;
+    double service_time = 0.0;  ///< sampled at arrival (the packet's "size")
+    double finish_tag = 0.0;
   };
 
   /// Per-connection FIFO of tagged packets (tags are increasing within a
   /// connection, so only head-of-line packets compete).
-  std::vector<std::deque<Job>> backlog_;
+  std::vector<RingQueue<Job>> backlog_;
   std::optional<Job> in_service_;
   double virtual_time_ = 0.0;  ///< finish tag of the packet in service
   std::vector<double> last_finish_;  ///< F_i per connection

@@ -35,20 +35,22 @@ NetworkSimulator::NetworkSimulator(network::Topology topology,
   for (network::GatewayId a = 0; a < num_gw; ++a) {
     const auto& gw = topology_.gateway(a);
     const std::size_t n_local = topology_.fan_in(a);
-    auto on_departure = [this](Packet p) { packet_departed_gateway(std::move(p)); };
     stats::Xoshiro256 server_rng = master_rng_.split();
     switch (discipline_) {
       case SimDiscipline::Fifo:
         servers_.push_back(std::make_unique<FifoServer>(
-            sim_, gw.mu, n_local, server_rng, on_departure));
+            sim_, gw.mu, n_local, server_rng,
+            static_cast<PacketSink*>(this)));
         break;
       case SimDiscipline::FairShare:
         servers_.push_back(std::make_unique<FairShareServer>(
-            sim_, gw.mu, n_local, server_rng, on_departure));
+            sim_, gw.mu, n_local, server_rng,
+            static_cast<PacketSink*>(this)));
         break;
       case SimDiscipline::FairQueueing:
         servers_.push_back(std::make_unique<FairQueueingServer>(
-            sim_, gw.mu, n_local, server_rng, on_departure));
+            sim_, gw.mu, n_local, server_rng,
+            static_cast<PacketSink*>(this)));
         break;
     }
   }
@@ -94,16 +96,48 @@ void NetworkSimulator::set_rates(const std::vector<double>& rates) {
 void NetworkSimulator::schedule_next_arrival(network::ConnectionId i,
                                              std::uint64_t gen) {
   const double gap = source_rng_[i].exponential(rates_[i]);
-  sim_.schedule_in(gap, [this, i, gen] {
-    if (gen != source_generation_[i]) return;  // source was re-rated
-    Packet packet;
-    packet.id = next_packet_id_++;
-    packet.connection = i;
-    packet.hop = 0;
-    packet.created = sim_.now();
-    arrive_at_hop(std::move(packet));
-    schedule_next_arrival(i, gen);
-  });
+  SimEvent event;
+  event.kind = EventKind::Arrival;
+  event.index = static_cast<std::uint32_t>(i);
+  event.generation = gen;
+  sim_.schedule_event_in(gap, *this, event);
+}
+
+void NetworkSimulator::handle_event(SimEvent& event) {
+  switch (event.kind) {
+    case EventKind::Arrival: {
+      const network::ConnectionId i = event.index;
+      if (event.generation != source_generation_[i]) return;  // re-rated
+      Packet packet;
+      packet.id = next_packet_id_++;
+      packet.connection = i;
+      packet.hop = 0;
+      packet.created = sim_.now();
+      arrive_at_hop(std::move(packet));
+      schedule_next_arrival(i, event.generation);
+      return;
+    }
+    case EventKind::Propagate: {
+      Packet& packet = event.packet;
+      const auto& path = topology_.path(packet.connection);
+      if (packet.hop == path.size()) {
+        // Ran off the end of the path: delivered to the sink.
+        const network::ConnectionId i = packet.connection;
+        const double delay = sim_.now() - packet.created;
+        delay_stats_[i].add(delay);
+        if (delay_sampling_ && delay_samples_[i].size() < kMaxDelaySamples) {
+          delay_samples_[i].push_back(delay);
+        }
+        ++delivered_[i];
+        ++packets_delivered_total_;
+      } else {
+        arrive_at_hop(std::move(packet));
+      }
+      return;
+    }
+    default:
+      return;
+  }
 }
 
 void NetworkSimulator::arrive_at_hop(Packet packet) {
@@ -113,30 +147,16 @@ void NetworkSimulator::arrive_at_hop(Packet packet) {
   servers_[a]->arrival(std::move(packet), local);
 }
 
-void NetworkSimulator::packet_departed_gateway(Packet packet) {
+void NetworkSimulator::packet_departed(Packet packet) {
   const auto& path = topology_.path(packet.connection);
   const network::GatewayId a = path.at(packet.hop);
   const double latency = topology_.gateway(a).latency;
-  const bool last_hop = packet.hop + 1 == path.size();
-  packet.hop += 1;
+  packet.hop += 1;  // == path.size() marks final delivery
   packet.priority_class = 0;  // classes are per-gateway
-  if (last_hop) {
-    const network::ConnectionId i = packet.connection;
-    const double created = packet.created;
-    sim_.schedule_in(latency, [this, i, created] {
-      const double delay = sim_.now() - created;
-      delay_stats_[i].add(delay);
-      if (delay_samples_[i].size() < kMaxDelaySamples) {
-        delay_samples_[i].push_back(delay);
-      }
-      ++delivered_[i];
-      ++packets_delivered_total_;
-    });
-  } else {
-    sim_.schedule_in(latency, [this, p = std::move(packet)]() mutable {
-      arrive_at_hop(std::move(p));
-    });
-  }
+  SimEvent event;
+  event.kind = EventKind::Propagate;
+  event.packet = packet;
+  sim_.schedule_event_in(latency, *this, event);
 }
 
 void NetworkSimulator::run_for(double duration) {

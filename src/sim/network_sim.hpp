@@ -27,7 +27,11 @@ namespace ffc::sim {
 /// (non-preemptive, self-clocked packet tags; see sim/fair_queueing.hpp).
 enum class SimDiscipline { Fifo, FairShare, FairQueueing };
 
-class NetworkSimulator {
+/// Implements PacketSink (gateway departures come straight back, no closure
+/// per packet) and EventHandler (source arrivals and line propagation are
+/// tagged events), so a warmed-up simulation runs without heap allocation --
+/// see docs/PERFORMANCE.md.
+class NetworkSimulator : private PacketSink, private EventHandler {
  public:
   /// Builds the simulation; all sources start silent (rate 0) until
   /// set_rates() is called.
@@ -69,6 +73,12 @@ class NetworkSimulator {
 
   static constexpr std::size_t kMaxDelaySamples = 200000;
 
+  /// Enables/disables raw delay-sample retention (mean/summary statistics
+  /// are unaffected). Off, delivery is allocation-free -- the allocation
+  /// tests and long benchmark runs use this. On (the default) samples
+  /// accumulate up to kMaxDelaySamples per connection.
+  void set_delay_sampling(bool enabled) { delay_sampling_ = enabled; }
+
   double now() const { return sim_.now(); }
   std::uint64_t events_processed() const { return sim_.events_processed(); }
   const network::Topology& topology() const { return topology_; }
@@ -91,8 +101,15 @@ class NetworkSimulator {
   void collect_metrics(obs::MetricRegistry& registry) const;
 
  private:
+  /// PacketSink: a gateway finished serving `packet`; schedule the line
+  /// crossing (or final delivery) as a tagged Propagate event.
+  void packet_departed(Packet packet) override;
+  /// EventHandler: Arrival = a source emits its next packet; Propagate = a
+  /// packet lands at its next hop, or is delivered when the hop index has
+  /// run off the end of its path.
+  void handle_event(SimEvent& event) override;
+
   void schedule_next_arrival(network::ConnectionId i, std::uint64_t gen);
-  void packet_departed_gateway(Packet packet);
   void arrive_at_hop(Packet packet);
 
   network::Topology topology_;
@@ -111,6 +128,7 @@ class NetworkSimulator {
 
   std::vector<stats::OnlineStats> delay_stats_;
   std::vector<std::vector<double>> delay_samples_;
+  bool delay_sampling_ = true;
   std::vector<std::uint64_t> delivered_;
   std::uint64_t packets_delivered_total_ = 0;
   double metrics_start_ = 0.0;

@@ -1,0 +1,79 @@
+// A vector-backed circular FIFO used for server job queues.
+//
+// std::deque allocates and frees ~512-byte map nodes as elements cycle
+// through, so a steady-state server still churns the allocator. RingQueue
+// keeps one contiguous power-of-two buffer that only ever grows: after
+// warm-up, push/pop cycles are pure index arithmetic (docs/PERFORMANCE.md).
+// push_front exists for preemptive-resume servers that return the running
+// job to the head of its class queue.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ffc::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[wrap(head_ + count_)] = std::move(value);
+    ++count_;
+  }
+
+  void push_front(T value) {
+    if (count_ == buf_.size()) grow();
+    head_ = wrap(head_ + buf_.size() - 1);
+    buf_[head_] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    buf_[head_] = T{};  // release payload resources eagerly
+    head_ = wrap(head_ + 1);
+    --count_;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) grow_to(ceil_pow2(n));
+  }
+
+  void clear() {
+    while (!empty()) pop_front();
+  }
+
+ private:
+  std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
+
+  static std::size_t ceil_pow2(std::size_t n) {
+    std::size_t cap = 4;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  void grow() { grow_to(buf_.empty() ? 4 : buf_.size() * 2); }
+
+  void grow_to(std::size_t new_cap) {
+    std::vector<T> fresh(new_cap);
+    for (std::size_t k = 0; k < count_; ++k) {
+      fresh[k] = std::move(buf_[wrap(head_ + k)]);
+    }
+    buf_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  ///< capacity; always a power of two (or empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ffc::sim

@@ -9,19 +9,32 @@
 namespace ffc::sim {
 
 GatewayServer::GatewayServer(Simulator& sim, double mu, std::size_t num_local,
-                             stats::Xoshiro256 rng,
-                             DepartureHandler on_departure)
+                             stats::Xoshiro256 rng, PacketSink* sink)
     : sim_(sim),
       mu_(mu),
       num_local_(num_local),
       rng_(rng),
-      on_departure_(std::move(on_departure)),
+      sink_(sink),
       in_system_(num_local, 0),
       occupancy_(num_local, stats::TimeWeightedStats(sim.now(), 0.0)) {
   if (!(mu > 0.0)) throw std::invalid_argument("GatewayServer: mu must be > 0");
-  if (!on_departure_) {
-    throw std::invalid_argument("GatewayServer: null departure handler");
+  if (sink_ == nullptr) {
+    throw std::invalid_argument("GatewayServer: null departure sink");
   }
+}
+
+void GatewayServer::handle_event(SimEvent& event) {
+  if (event.kind == EventKind::ServiceComplete) {
+    on_service_complete(event.generation);
+  }
+}
+
+void GatewayServer::schedule_completion_in(double dt,
+                                           std::uint64_t generation) {
+  SimEvent event;
+  event.kind = EventKind::ServiceComplete;
+  event.generation = generation;
+  sim_.schedule_event_in(dt, *this, event);
 }
 
 void GatewayServer::occupancy_delta(std::size_t local_conn, int delta) {
@@ -77,10 +90,10 @@ void FifoServer::start_service() {
   in_service_ = std::move(queue_.front());
   queue_.pop_front();
   const std::uint64_t gen = ++generation_;
-  sim().schedule_in(sample_service_time(), [this, gen] { complete(gen); });
+  schedule_completion_in(sample_service_time(), gen);
 }
 
-void FifoServer::complete(std::uint64_t generation) {
+void FifoServer::on_service_complete(std::uint64_t generation) {
   if (generation != generation_ || !in_service_) return;  // stale event
   Job job = std::move(*in_service_);
   in_service_.reset();
@@ -93,10 +106,8 @@ void FifoServer::complete(std::uint64_t generation) {
 
 PriorityServer::PriorityServer(Simulator& sim, double mu,
                                std::size_t num_local, std::size_t num_classes,
-                               stats::Xoshiro256 rng,
-                               DepartureHandler on_departure)
-    : GatewayServer(sim, mu, num_local, rng, std::move(on_departure)),
-      classes_(num_classes) {
+                               stats::Xoshiro256 rng, PacketSink* sink)
+    : GatewayServer(sim, mu, num_local, rng, sink), classes_(num_classes) {
   if (num_classes == 0) {
     throw std::invalid_argument("PriorityServer: need >= 1 class");
   }
@@ -129,12 +140,12 @@ void PriorityServer::start_service() {
     classes_[klass].pop_front();
     in_service_class_ = klass;
     const std::uint64_t gen = ++generation_;
-    sim().schedule_in(sample_service_time(), [this, gen] { complete(gen); });
+    schedule_completion_in(sample_service_time(), gen);
     return;
   }
 }
 
-void PriorityServer::complete(std::uint64_t generation) {
+void PriorityServer::on_service_complete(std::uint64_t generation) {
   if (generation != generation_ || !in_service_) return;  // stale or preempted
   Job job = std::move(*in_service_);
   in_service_.reset();
@@ -147,10 +158,9 @@ void PriorityServer::complete(std::uint64_t generation) {
 
 FairShareServer::FairShareServer(Simulator& sim, double mu,
                                  std::size_t num_local,
-                                 stats::Xoshiro256 rng,
-                                 DepartureHandler on_departure)
+                                 stats::Xoshiro256 rng, PacketSink* sink)
     : PriorityServer(sim, mu, num_local, std::max<std::size_t>(1, num_local),
-                     rng, std::move(on_departure)),
+                     rng, sink),
       // The base keeps a copy of `rng`'s current state for service times;
       // derive an unrelated stream for class assignment by reseeding from a
       // draw (split() would hand back the very position the base copied).

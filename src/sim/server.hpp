@@ -4,34 +4,71 @@
 // Every server measures, per local connection, the time-average number of
 // packets in the system (queued + in service) -- the simulated counterpart
 // of the analytic Q^a_i(r).
+//
+// Hot path (docs/PERFORMANCE.md): servers are EventHandlers; a pending
+// service completion is a tagged ServiceComplete event carrying only the
+// generation counter, job queues are RingQueues, and departures go to a
+// borrowed PacketSink -- so a warmed-up server processes packets without
+// touching the allocator. CallbackSink adapts a lambda for tests and
+// examples that don't want to implement the interface.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "sim/event.hpp"
 #include "sim/packet.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/simulator.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
 
 namespace ffc::sim {
 
-/// Base class: owns the clockwork shared by all disciplines (service-rate
-/// sampling, occupancy accounting, departure delivery).
-class GatewayServer {
+/// Where departing packets go. Borrowed by the server: the sink must
+/// outlive it (the network simulators implement this interface themselves).
+class PacketSink {
  public:
-  using DepartureHandler = std::function<void(Packet)>;
+  virtual void packet_departed(Packet packet) = 0;
 
+ protected:
+  ~PacketSink() = default;  // interface only; never deleted through this
+};
+
+/// Adapts a std::function to PacketSink for tests / one-off wiring.
+class CallbackSink final : public PacketSink {
+ public:
+  using Handler = std::function<void(Packet)>;
+
+  explicit CallbackSink(Handler handler) : handler_(std::move(handler)) {
+    if (!handler_) {
+      throw std::invalid_argument("CallbackSink: null handler");
+    }
+  }
+
+  void packet_departed(Packet packet) override {
+    handler_(std::move(packet));
+  }
+
+ private:
+  Handler handler_;
+};
+
+/// Base class: owns the clockwork shared by all disciplines (service-rate
+/// sampling, occupancy accounting, departure delivery, tagged service-
+/// completion events).
+class GatewayServer : public EventHandler {
+ public:
   /// `num_local` is the number of connections routed through this gateway;
   /// arrivals must carry local connection indices via the translation the
-  /// caller performs (see NetworkSimulator).
+  /// caller performs (see NetworkSimulator). `sink` is borrowed and must be
+  /// non-null and outlive the server.
   GatewayServer(Simulator& sim, double mu, std::size_t num_local,
-                stats::Xoshiro256 rng, DepartureHandler on_departure);
+                stats::Xoshiro256 rng, PacketSink* sink);
   virtual ~GatewayServer() = default;
 
   GatewayServer(const GatewayServer&) = delete;
@@ -39,6 +76,9 @@ class GatewayServer {
 
   /// A packet of local connection `local_conn` arrives now.
   virtual void arrival(Packet packet, std::size_t local_conn) = 0;
+
+  /// Routes ServiceComplete events to on_service_complete.
+  void handle_event(SimEvent& event) final;
 
   /// Time-average number in system for a local connection.
   double mean_occupancy(std::size_t local_conn) const;
@@ -74,17 +114,24 @@ class GatewayServer {
   std::size_t num_local() const { return num_local_; }
 
  protected:
+  /// The completion of the job whose schedule_completion_in carried this
+  /// generation; stale generations (preempted / superseded) must be ignored.
+  virtual void on_service_complete(std::uint64_t generation) = 0;
+
+  /// Schedules a tagged ServiceComplete event `dt` from now.
+  void schedule_completion_in(double dt, std::uint64_t generation);
+
   Simulator& sim() { return sim_; }
   double sample_service_time() { return rng_.exponential(mu_); }
   void occupancy_delta(std::size_t local_conn, int delta);
-  void deliver(Packet packet) { on_departure_(std::move(packet)); }
+  void deliver(Packet packet) { sink_->packet_departed(std::move(packet)); }
 
  private:
   Simulator& sim_;
   double mu_;
   std::size_t num_local_;
   stats::Xoshiro256 rng_;
-  DepartureHandler on_departure_;
+  PacketSink* sink_;
   std::vector<int> in_system_;
   std::size_t total_in_system_ = 0;
   std::uint64_t packets_arrived_ = 0;
@@ -98,15 +145,17 @@ class FifoServer final : public GatewayServer {
   using GatewayServer::GatewayServer;
   void arrival(Packet packet, std::size_t local_conn) override;
 
+ protected:
+  void on_service_complete(std::uint64_t generation) override;
+
  private:
   void start_service();
-  void complete(std::uint64_t generation);
 
   struct Job {
     Packet packet;
-    std::size_t local_conn;
+    std::size_t local_conn = 0;
   };
-  std::deque<Job> queue_;
+  RingQueue<Job> queue_;
   std::optional<Job> in_service_;
   std::uint64_t generation_ = 0;
 };
@@ -118,20 +167,22 @@ class PriorityServer : public GatewayServer {
  public:
   PriorityServer(Simulator& sim, double mu, std::size_t num_local,
                  std::size_t num_classes, stats::Xoshiro256 rng,
-                 DepartureHandler on_departure);
+                 PacketSink* sink);
 
   /// Enqueues into `packet.priority_class`.
   void arrival(Packet packet, std::size_t local_conn) override;
 
+ protected:
+  void on_service_complete(std::uint64_t generation) override;
+
  private:
   void start_service();
-  void complete(std::uint64_t generation);
 
   struct Job {
     Packet packet;
-    std::size_t local_conn;
+    std::size_t local_conn = 0;
   };
-  std::vector<std::deque<Job>> classes_;
+  std::vector<RingQueue<Job>> classes_;
   std::optional<Job> in_service_;
   std::size_t in_service_class_ = 0;
   std::uint64_t generation_ = 0;
@@ -146,7 +197,7 @@ class PriorityServer : public GatewayServer {
 class FairShareServer final : public PriorityServer {
  public:
   FairShareServer(Simulator& sim, double mu, std::size_t num_local,
-                  stats::Xoshiro256 rng, DepartureHandler on_departure);
+                  stats::Xoshiro256 rng, PacketSink* sink);
 
   /// Updates the per-connection rates driving the class decomposition.
   void set_rates(const std::vector<double>& local_rates);

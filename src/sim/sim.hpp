@@ -8,6 +8,7 @@
 // realized by stream splitting), and packet-by-packet Fair Queueing.
 #pragma once
 
+#include "sim/event.hpp"
 #include "sim/fair_queueing.hpp"
 #include "sim/feedback_sim.hpp"
 #include "sim/network_sim.hpp"

@@ -46,14 +46,12 @@ WindowNetworkSimulator::WindowNetworkSimulator(network::Topology topology,
   for (network::GatewayId a = 0; a < num_gw; ++a) {
     const auto& gw = topology_.gateway(a);
     const std::size_t n_local = topology_.fan_in(a);
-    auto on_departure = [this](Packet p) {
-      packet_departed_gateway(std::move(p));
-    };
     stats::Xoshiro256 server_rng = master.split();
     switch (discipline) {
       case SimDiscipline::Fifo:
         servers_.push_back(std::make_unique<FifoServer>(
-            sim_, gw.mu, n_local, server_rng, on_departure));
+            sim_, gw.mu, n_local, server_rng,
+            static_cast<PacketSink*>(this)));
         break;
       case SimDiscipline::FairShare:
         // The preemptive Fair Share construction needs source RATES to
@@ -64,7 +62,8 @@ WindowNetworkSimulator::WindowNetworkSimulator(network::Topology topology,
             "(window sources have no rate for the FS decomposition)");
       case SimDiscipline::FairQueueing:
         servers_.push_back(std::make_unique<FairQueueingServer>(
-            sim_, gw.mu, n_local, server_rng, on_departure));
+            sim_, gw.mu, n_local, server_rng,
+            static_cast<PacketSink*>(this)));
         break;
     }
   }
@@ -102,32 +101,42 @@ void WindowNetworkSimulator::maybe_mark(Packet& packet, network::GatewayId a,
   if (occupancy >= options_.bit_threshold) packet.congestion_bit = true;
 }
 
-void WindowNetworkSimulator::packet_departed_gateway(Packet packet) {
+void WindowNetworkSimulator::packet_departed(Packet packet) {
   const auto& path = topology_.path(packet.connection);
   const network::GatewayId a = path.at(packet.hop);
   const double latency = topology_.gateway(a).latency;
   const bool last_hop = packet.hop + 1 == path.size();
-  packet.hop += 1;
+  packet.hop += 1;  // == path.size() marks the ACK leg
   packet.priority_class = 0;
+  SimEvent event;
+  event.kind = EventKind::Propagate;
   if (last_hop) {
     // Deliver, then return the ACK over the path's propagation latency
-    // (ACKs are small; they do not queue).
-    const network::ConnectionId i = packet.connection;
-    const double created = packet.created;
-    const bool bit = packet.congestion_bit;
-    const double ack_latency = latency + topology_.path_latency(i);
-    ++delivered_[i];
-    sim_.schedule_in(ack_latency,
-                     [this, i, created, bit] { ack_arrived(i, created, bit); });
+    // (ACKs are small; they do not queue). The ACK's payload -- creation
+    // time and congestion bit -- rides inside the packet.
+    const double ack_latency = latency + topology_.path_latency(
+                                             packet.connection);
+    ++delivered_[packet.connection];
+    event.packet = packet;
+    sim_.schedule_event_in(ack_latency, *this, event);
   } else {
-    sim_.schedule_in(latency, [this, p = std::move(packet)]() mutable {
-      const auto& fwd_path = topology_.path(p.connection);
-      const network::GatewayId next = fwd_path.at(p.hop);
-      const std::size_t local = local_index_[next][p.connection];
-      maybe_mark(p, next, local);
-      servers_[next]->arrival(std::move(p), local);
-    });
+    event.packet = packet;
+    sim_.schedule_event_in(latency, *this, event);
   }
+}
+
+void WindowNetworkSimulator::handle_event(SimEvent& event) {
+  if (event.kind != EventKind::Propagate) return;
+  Packet& packet = event.packet;
+  const auto& path = topology_.path(packet.connection);
+  if (packet.hop == path.size()) {
+    ack_arrived(packet.connection, packet.created, packet.congestion_bit);
+    return;
+  }
+  const network::GatewayId next = path.at(packet.hop);
+  const std::size_t local = local_index_[next][packet.connection];
+  maybe_mark(packet, next, local);
+  servers_[next]->arrival(std::move(packet), local);
 }
 
 void WindowNetworkSimulator::ack_arrived(network::ConnectionId i,

@@ -52,7 +52,10 @@ struct WindowOptions {
 };
 
 /// Packet-level simulation of sliding-window sources with DECbit feedback.
-class WindowNetworkSimulator {
+/// Like NetworkSimulator it implements PacketSink + EventHandler: gateway
+/// departures, hop propagation, and ACK returns are tagged events, so the
+/// warmed-up simulation runs without heap allocation.
+class WindowNetworkSimulator : private PacketSink, private EventHandler {
  public:
   WindowNetworkSimulator(network::Topology topology,
                          SimDiscipline discipline, WindowOptions options,
@@ -99,10 +102,17 @@ class WindowNetworkSimulator {
     std::uint64_t cycle_length = 2;  ///< ACKs per adjustment (~the window)
   };
 
+  /// PacketSink: a gateway finished serving `packet`; schedule the hop
+  /// crossing (forward) or the ACK return (last hop) as a Propagate event.
+  void packet_departed(Packet packet) override;
+  /// EventHandler: Propagate with hop < path length lands the packet at its
+  /// next gateway; hop == path length is the ACK arriving back at the
+  /// source (created + congestion_bit ride inside the packet).
+  void handle_event(SimEvent& event) override;
+
   void try_send(network::ConnectionId i);
   void maybe_mark(Packet& packet, network::GatewayId a,
                   std::size_t local) const;
-  void packet_departed_gateway(Packet packet);
   void ack_arrived(network::ConnectionId i, double created, bool bit);
   void adjust_window(network::ConnectionId i);
 

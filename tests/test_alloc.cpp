@@ -1,0 +1,178 @@
+// Allocation regression tests for the hot paths (docs/PERFORMANCE.md).
+//
+// The whole point of the workspace model path and the tagged-event DES core
+// is that the inner loops perform ZERO heap allocations after warm-up. These
+// tests replace the global operator new with a counting hook and pin that
+// property: a steady-state iterate of the analytic map and a 10k-event
+// window of the packet simulator must not allocate at all.
+//
+// Everything here is single-threaded and seeded, so the counts are exact
+// and deterministic -- a failure is a real regression, not noise.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/steady_state.hpp"
+#include "helpers.hpp"
+#include "network/builders.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+}  // namespace
+
+// Counting replacements for the global allocation functions. Only the
+// windows bracketed by AllocWindow count; everything else passes through.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using ffc::core::FeedbackStyle;
+using ffc::core::ModelWorkspace;
+using ffc::sim::EventKind;
+using ffc::sim::NetworkSimulator;
+using ffc::sim::SimDiscipline;
+using ffc::sim::SimEvent;
+using ffc::sim::Simulator;
+namespace th = ffc::testing;
+
+/// RAII window: heap allocations between construction and count() are
+/// tallied.
+class AllocWindow {
+ public:
+  AllocWindow() {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocWindow() { g_counting.store(false, std::memory_order_relaxed); }
+  std::uint64_t count() {
+    g_counting.store(false, std::memory_order_relaxed);
+    return g_alloc_count.load(std::memory_order_relaxed);
+  }
+};
+
+TEST(AllocFree, SteadyStateIterateDoesNotAllocate) {
+  for (bool fair : {false, true}) {
+    for (auto style :
+         {FeedbackStyle::Aggregate, FeedbackStyle::Individual}) {
+      const std::size_t n = 32;
+      auto model = th::single_gateway_model(
+          n, fair ? th::fair_share() : th::fifo(), style);
+      ModelWorkspace ws;
+      std::vector<double> initial(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        initial[i] = 0.9 / static_cast<double>(n) * (1.0 + 0.01 * i);
+      }
+      std::vector<double> rates = initial;
+      const auto iterate = [&] {
+        rates = initial;
+        model.step(rates, ws);  // validated entry, then unchecked
+        for (int iter = 0; iter < 100; ++iter) {
+          const std::vector<double>& next = model.step_unchecked(rates, ws);
+          rates = next;  // same size: copies into existing capacity
+        }
+      };
+      // Warm-up runs the EXACT trajectory to be measured, so every buffer
+      // (including ones only touched in regimes the iterate wanders into,
+      // like zero-rate sojourn probes) reaches its final capacity.
+      iterate();
+
+      AllocWindow window;
+      iterate();
+      EXPECT_EQ(window.count(), 0u)
+          << (fair ? "FairShare" : "FIFO") << " style "
+          << static_cast<int>(style);
+    }
+  }
+}
+
+TEST(AllocFree, FixedPointSolveReusingWorkspaceDoesNotAllocate) {
+  const std::size_t n = 16;
+  auto model = th::single_gateway_model(n, th::fair_share(),
+                                        FeedbackStyle::Individual);
+  ModelWorkspace ws;
+  ffc::core::FixedPointOptions opts;
+  opts.max_iterations = 400;
+  std::vector<double> initial(n, 0.9 / static_cast<double>(n));
+  // Warm-up solve grows the workspace and the result buffers.
+  ffc::core::solve_fixed_point(model, initial, opts, ws);
+
+  // The solver mutates its iterate in place; the only allocations in a
+  // repeat solve are the by-value `initial` copy and the returned
+  // FixedPointResult's rates vector -- the ITERATION itself adds nothing.
+  AllocWindow window;
+  const auto result = ffc::core::solve_fixed_point(model, initial, opts, ws);
+  const std::uint64_t allocs = window.count();
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 10u);
+  EXPECT_LE(allocs, 4u) << "iterations: " << result.iterations;
+}
+
+TEST(AllocFree, TaggedEventCalendarDoesNotAllocate) {
+  // A self-rescheduling tagged-event chain reuses one slot and one heap
+  // entry; after the first event the calendar never grows.
+  Simulator sim;
+  struct Chain final : ffc::sim::EventHandler {
+    explicit Chain(Simulator& s) : sim(s) {}
+    void handle_event(SimEvent& event) override {
+      ++fired;
+      sim.schedule_event_in(1.0, *this, event);
+    }
+    Simulator& sim;
+    std::uint64_t fired = 0;
+  } chain(sim);
+  SimEvent e;
+  e.kind = EventKind::EpochTick;
+  sim.schedule_event_in(1.0, chain, e);
+  sim.run_until(10.0);  // warm-up: slot pool and heap materialize
+
+  AllocWindow window;
+  sim.run_until(10010.0);  // 10k more events
+  EXPECT_EQ(window.count(), 0u);
+  EXPECT_GE(chain.fired, 10000u);
+  EXPECT_EQ(sim.slot_pool_size(), 1u);
+}
+
+TEST(AllocFree, NetworkSimulatorWindowDoesNotAllocate) {
+  for (auto discipline : {SimDiscipline::Fifo, SimDiscipline::FairQueueing,
+                          SimDiscipline::FairShare}) {
+    NetworkSimulator sim(ffc::network::single_bottleneck(4, 1.0),
+                         discipline, 90210);
+    sim.set_delay_sampling(false);
+    // Warm up ABOVE the measurement load so every ring buffer, the heap,
+    // and the slot pool reach a high-water mark the measured window stays
+    // inside. rho = 0.96 backlogs deeper than the measured rho = 0.8.
+    sim.set_rates({0.24, 0.24, 0.24, 0.24});
+    sim.run_for(4000.0);
+    sim.set_rates({0.2, 0.2, 0.2, 0.2});
+    sim.run_for(500.0);
+
+    const std::uint64_t before = sim.events_processed();
+    AllocWindow window;
+    sim.run_for(5000.0);
+    const std::uint64_t allocs = window.count();
+    const std::uint64_t events = sim.events_processed() - before;
+    EXPECT_EQ(allocs, 0u) << "discipline " << static_cast<int>(discipline);
+    EXPECT_GT(events, 10000u);
+  }
+}
+
+}  // namespace

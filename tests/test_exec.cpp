@@ -14,8 +14,12 @@
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <memory>
 #include <vector>
 
+#include "core/model.hpp"
+#include "network/builders.hpp"
+#include "queueing/fair_share.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -190,6 +194,45 @@ TEST(SweepRunner, DeterministicAcrossThreadCounts) {
   ASSERT_EQ(b.size(), grid.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i], b[i]) << "jobs=1 and jobs=4 disagree at grid index " << i;
+  }
+}
+
+// The workspace-threaded analytic hot path inside a sweep: every task owns
+// a ModelWorkspace and iterates the unchecked fast path. Results must stay
+// bitwise identical across thread counts -- pins that the workspace rewrite
+// kept tasks share-nothing (also exercised under TSan via FFC_SANITIZE).
+TEST(SweepRunner, ModelWorkspaceTasksDeterministicAcrossThreadCounts) {
+  ParamGrid grid;
+  grid.axis("eta", ParamGrid::linspace(0.05, 0.4, 4))
+      .axis("load", ParamGrid::linspace(0.3, 1.4, 5));
+
+  const auto task = [](const GridPoint& p, std::uint64_t seed) {
+    auto model = core::FlowControlModel(
+        network::single_bottleneck(8, 1.0),
+        std::make_shared<queueing::FairShare>(),
+        std::make_shared<core::RationalSignal>(),
+        core::FeedbackStyle::Individual,
+        std::make_shared<core::AdditiveTsi>(p.get("eta"), 0.5));
+    core::ModelWorkspace ws;
+    stats::Xoshiro256 rng(seed);
+    std::vector<double> rates(8);
+    for (auto& r : rates) r = p.get("load") / 8.0 * (0.5 + rng.uniform01());
+    rates = model.step(rates, ws);
+    for (int it = 0; it < 50; ++it) {
+      rates = model.step_unchecked(rates, ws);
+    }
+    double acc = 0.0;
+    for (double r : rates) acc += r;
+    return acc;
+  };
+
+  SweepRunner serial(SweepOptions{.jobs = 1, .base_seed = 7});
+  SweepRunner parallel(SweepOptions{.jobs = 4, .base_seed = 7});
+  const auto a = serial.run(grid, task);
+  const auto b = parallel.run(grid, task);
+  ASSERT_EQ(a.size(), grid.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "grid index " << i;
   }
 }
 

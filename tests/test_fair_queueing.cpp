@@ -28,8 +28,8 @@ std::vector<double> fq_occupancy(const std::vector<double>& rates, double mu,
                                  double horizon, std::uint64_t seed) {
   Simulator sim;
   Xoshiro256 rng(seed);
-  FairQueueingServer server(sim, mu, rates.size(), rng.split(),
-                            [](Packet) {});
+  ffc::sim::CallbackSink sink([](Packet) {});
+  FairQueueingServer server(sim, mu, rates.size(), rng.split(), &sink);
   std::vector<Xoshiro256> srcs;
   for (std::size_t i = 0; i < rates.size(); ++i) srcs.push_back(rng.split());
   std::function<void(std::size_t)> arrive = [&](std::size_t i) {

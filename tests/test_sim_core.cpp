@@ -17,10 +17,13 @@
 namespace {
 
 using ffc::queueing::g;
+using ffc::sim::CallbackSink;
+using ffc::sim::EventKind;
 using ffc::sim::FairShareServer;
 using ffc::sim::FifoServer;
 using ffc::sim::Packet;
 using ffc::sim::PriorityServer;
+using ffc::sim::SimEvent;
 using ffc::sim::Simulator;
 using ffc::stats::Xoshiro256;
 
@@ -81,6 +84,85 @@ TEST(SimulatorCore, TiesScheduledFromCallbacksFireAfterEarlierTies) {
   while (sim.step()) {
   }
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Records the `index` field of every tagged event it receives.
+class RecordingHandler final : public ffc::sim::EventHandler {
+ public:
+  explicit RecordingHandler(std::vector<int>& order) : order_(order) {}
+  void handle_event(SimEvent& event) override {
+    order_.push_back(static_cast<int>(event.index));
+  }
+
+ private:
+  std::vector<int>& order_;
+};
+
+// Tagged events and legacy callbacks share one calendar and one (time, seq)
+// FIFO contract: mixing the two at a tied timestamp must still fire in exact
+// schedule order.
+TEST(SimulatorCore, TaggedEventsInterleaveWithCallbacksInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  RecordingHandler handler(order);
+  SimEvent e;
+  e.kind = EventKind::EpochTick;
+  e.index = 0;
+  sim.schedule_event_at(1.0, handler, e);
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  e.index = 2;
+  sim.schedule_event_at(1.0, handler, e);
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  while (sim.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Re-schedules itself until `limit` firings, advancing the event's
+// generation each hop so the payload round-trips through the slot pool.
+class ChainHandler final : public ffc::sim::EventHandler {
+ public:
+  ChainHandler(Simulator& sim, int limit) : sim_(sim), limit_(limit) {}
+  void handle_event(SimEvent& event) override {
+    EXPECT_EQ(event.generation, static_cast<std::uint64_t>(fired));
+    if (++fired < limit_) {
+      event.generation += 1;
+      sim_.schedule_event_in(1.0, *this, event);
+    }
+  }
+  int fired = 0;
+
+ private:
+  Simulator& sim_;
+  int limit_;
+};
+
+// A slot is released before its event is dispatched, so a self-rescheduling
+// chain of any length keeps reusing one slot: the pool's size equals the
+// concurrency high-water mark, not the event count.
+TEST(SimulatorCore, SlotPoolSizeMatchesConcurrencyHighWater) {
+  Simulator sim;
+  ChainHandler chain(sim, 1000);
+  SimEvent e;
+  e.kind = EventKind::EpochTick;
+  sim.schedule_event_in(1.0, chain, e);
+  sim.run_until(5000.0);
+  EXPECT_EQ(chain.fired, 1000);
+  EXPECT_EQ(sim.slot_pool_size(), 1u);
+  EXPECT_EQ(sim.events_processed(), 1000u);
+}
+
+TEST(SimulatorCore, TaggedEventValidation) {
+  Simulator sim;
+  std::vector<int> order;
+  RecordingHandler handler(order);
+  SimEvent e;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_event_at(1.0, handler, e),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_event_in(-1.0, handler, e),
+               std::invalid_argument);
 }
 
 TEST(SimulatorCore, CalendarSizeAndHighWaterTrackThePendingSet) {
@@ -174,8 +256,8 @@ std::vector<double> measure_occupancy(const std::vector<double>& rates,
   Simulator sim;
   Xoshiro256 rng(seed);
   std::uint64_t delivered = 0;
-  Server server(sim, mu, rates.size(), rng.split(),
-                [&](Packet) { ++delivered; });
+  CallbackSink sink([&](Packet) { ++delivered; });
+  Server server(sim, mu, rates.size(), rng.split(), &sink);
   if constexpr (std::is_same_v<Server, FairShareServer>) {
     server.set_rates(rates);
   }
@@ -189,8 +271,9 @@ std::vector<double> measure_priority_occupancy(
     std::uint64_t seed) {
   Simulator sim;
   Xoshiro256 rng(seed);
+  CallbackSink sink([](Packet) {});
   PriorityServer server(sim, mu, rates.size(), rates.size(), rng.split(),
-                        [](Packet) {});
+                        &sink);
   return drive_server(sim, rng, server, rates, horizon);
 }
 
@@ -256,7 +339,8 @@ TEST(FairShareServerSim, ProtectsSmallSenderUnderOverload) {
 TEST(FairShareServerSim, RequiresRatesBeforeArrivals) {
   Simulator sim;
   Xoshiro256 rng(1);
-  FairShareServer server(sim, 1.0, 2, rng, [](Packet) {});
+  CallbackSink sink([](Packet) {});
+  FairShareServer server(sim, 1.0, 2, rng, &sink);
   Packet p;
   EXPECT_THROW(server.arrival(std::move(p), 0), std::logic_error);
 }
@@ -264,11 +348,13 @@ TEST(FairShareServerSim, RequiresRatesBeforeArrivals) {
 TEST(ServerValidation, BadConstruction) {
   Simulator sim;
   Xoshiro256 rng(1);
-  EXPECT_THROW(FifoServer(sim, 0.0, 1, rng, [](Packet) {}),
+  CallbackSink sink([](Packet) {});
+  EXPECT_THROW(FifoServer(sim, 0.0, 1, rng, &sink), std::invalid_argument);
+  EXPECT_THROW(FifoServer(sim, 1.0, 1, rng, nullptr),
                std::invalid_argument);
-  EXPECT_THROW(FifoServer(sim, 1.0, 1, rng, nullptr), std::invalid_argument);
-  EXPECT_THROW(PriorityServer(sim, 1.0, 1, 0, rng, [](Packet) {}),
+  EXPECT_THROW(PriorityServer(sim, 1.0, 1, 0, rng, &sink),
                std::invalid_argument);
+  EXPECT_THROW(CallbackSink(nullptr), std::invalid_argument);
 }
 
 }  // namespace
