@@ -5,7 +5,10 @@ usage: compare_bench.py BASE.json NEW.json [--threshold PCT]
 
 Matches benchmarks across the two snapshots by (binary, benchmark name) and
 compares their throughput (items_per_second where the benchmark reports it,
-otherwise inverted cpu_time). Prints a delta table:
+otherwise inverted cpu_time). Like units are compared with like: a benchmark
+whose two snapshots report different units (items/s in one, inverted
+cpu_time in the other) is flagged "incomparable" and excluded from the gate
+rather than diffed across meanings. Prints a delta table:
 
     benchmark                         base items/s   new items/s    delta
     perf_des/BM_FifoGateway/8            1.117e+07     1.412e+07   +26.4%
@@ -71,12 +74,26 @@ def main():
     only_base = [name for name in base if name not in new]
     only_new = [name for name in new if name not in base]
 
-    width = max((len(n) for n in common), default=20)
+    # Width over EVERY printed name, not just the common ones -- an
+    # only_new/only_base benchmark with the longest name used to push its
+    # row out of the column grid.
+    width = max((len(n) for n in (*common, *only_base, *only_new)),
+                default=20)
     print(f"{'benchmark':<{width}}  {'base':>12}  {'new':>12}  {'delta':>8}")
     regressions = []
+    incomparable = []
     for name in common:
-        b, unit = throughput(base[name])
-        n, _ = throughput(new[name])
+        b, unit_base = throughput(base[name])
+        n, unit_new = throughput(new[name])
+        if unit_base != unit_new:
+            # One side reports items_per_second and the other only cpu_time
+            # (a counter was added or dropped): the numbers measure
+            # different things, so diffing them would be noise. Flag, never
+            # gate on it.
+            incomparable.append(name)
+            print(f"{name:<{width}}  {b:>12.4g}  {n:>12.4g}  "
+                  f"incomparable ({unit_base} vs {unit_new})")
+            continue
         delta = (n / b - 1.0) * 100.0 if b > 0 else float("inf")
         flag = ""
         if delta < -args.threshold:
@@ -91,9 +108,14 @@ def main():
     for name in only_base:
         print(f"{name:<{width}}  (missing from {args.new})")
 
-    print(f"\n{len(common)} compared, {len(only_new)} new, "
-          f"{len(only_base)} missing, {len(regressions)} regressed "
-          f"(threshold {args.threshold:.1f}%)")
+    compared = len(common) - len(incomparable)
+    print(f"\n{compared} compared, {len(incomparable)} incomparable, "
+          f"{len(only_new)} new, {len(only_base)} missing, "
+          f"{len(regressions)} regressed (threshold {args.threshold:.1f}%)")
+    if incomparable:
+        for name in incomparable:
+            print(f"compare_bench: INCOMPARABLE {name}: throughput units "
+                  f"differ between snapshots", file=sys.stderr)
     if regressions:
         for name, delta in regressions:
             print(f"compare_bench: REGRESSION {name}: {delta:+.1f}%",

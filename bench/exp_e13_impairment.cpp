@@ -1,0 +1,197 @@
+// E13 -- robustness under feedback-path impairment (Theorem 5 meets a
+// misbehaving network).
+//
+// Theorem 5's robustness guarantee -- every connection gets at least its
+// reservation floor rho_ss,i * min mu^a/N^a -- is proved for a PERFECT
+// feedback path. This experiment measures what is left of it when congestion
+// signals are lost or stale, the failure mode the RCP-stability line of work
+// (PAPERS.md) identifies as decisive in practice. A timid source (b_ss =
+// 0.35) shares a mu = 1 bottleneck with another timid and a greedy one
+// (b_ss = 0.65); each design runs the closed loop over the packet simulator
+// under a fault plan that drops a fraction of congestion signals and/or
+// makes them several epochs stale, and the final allocation is scored with
+// core::check_robustness.
+//
+// Sweep: {FIFO, FairShare} x {aggregate, individual} x loss {0, .25, .5} x
+// staleness {0, 3 epochs} = 24 independent closed-loop simulations, one
+// SweepRunner task each: --jobs N fans them out, per-task seeds derive from
+// (--seed, grid index), faults derive from the task seed (docs/FAULTS.md,
+// docs/DETERMINISM.md), so stdout is byte-identical at any --jobs.
+//
+// Exit code 0 iff the unimpaired anchors reproduce the paper (individual +
+// Fair Share robust; aggregate FIFO starves the timid sources) and the
+// guarantee degrades gracefully for individual + Fair Share (bounded
+// shortfall) under every impairment level.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ffc.hpp"
+#include "exec/cli.hpp"
+#include "exec/param_grid.hpp"
+#include "exec/sweep_runner.hpp"
+#include "faults/fault_plan.hpp"
+#include "report/table.hpp"
+#include "sim/feedback_sim.hpp"
+
+namespace {
+
+using namespace ffc;
+using report::fmt;
+using report::fmt_bool;
+using report::TextTable;
+
+constexpr double kMu = 1.0;
+constexpr std::size_t kN = 3;  // two timid sources + one greedy
+constexpr double kBetaTimid = 0.35;
+constexpr double kBetaGreedy = 0.65;
+constexpr double kEta = 0.1;
+constexpr std::size_t kEpochs = 40;
+constexpr double kEpochDuration = 1500.0;
+
+std::vector<std::shared_ptr<const core::RateAdjustment>> make_adjusters() {
+  return {std::make_shared<core::AdditiveTsi>(kEta, kBetaTimid),
+          std::make_shared<core::AdditiveTsi>(kEta, kBetaTimid),
+          std::make_shared<core::AdditiveTsi>(kEta, kBetaGreedy)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = exec::parse_sweep_cli(argc, argv, /*default_seed=*/1990);
+  if (cli.help) return EXIT_SUCCESS;
+  if (cli.error) return EXIT_FAILURE;
+  std::cout << "== E13: Theorem 5 robustness under feedback impairment ==\n"
+            << "timid b_ss = " << kBetaTimid << " (x2) vs greedy b_ss = "
+            << kBetaGreedy << " on one mu = " << kMu << " gateway; "
+            << kEpochs << " epochs of " << kEpochDuration << "\n";
+
+  exec::ParamGrid grid;
+  grid.axis("discipline", {0.0, 1.0})   // 0 = FIFO, 1 = Fair Share
+      .axis("style", {0.0, 1.0})        // 0 = aggregate, 1 = individual
+      .axis("loss", {0.0, 0.25, 0.5})   // P(signal lost)
+      .axis("delay", {0.0, 3.0});       // staleness in epochs
+
+  const auto adjusters = make_adjusters();
+
+  // Each task: closed loop over the packet simulator under its fault plan;
+  // returns the final rates. Analysis happens afterwards in grid order.
+  exec::SweepRunner runner(cli.options);
+  const auto finals = runner.run(
+      grid,
+      [&](const exec::GridPoint& p, std::uint64_t seed,
+          obs::MetricRegistry& metrics) -> std::vector<double> {
+        const auto discipline = p.get("discipline") == 0.0
+                                    ? sim::SimDiscipline::Fifo
+                                    : sim::SimDiscipline::FairShare;
+        const auto style = p.get("style") == 0.0
+                               ? core::FeedbackStyle::Aggregate
+                               : core::FeedbackStyle::Individual;
+        faults::FaultPlan plan;
+        plan.signal_loss_prob = p.get("loss");
+        plan.signal_delay_epochs = static_cast<std::size_t>(p.get("delay"));
+
+        sim::ClosedLoopOptions opts;
+        opts.epoch_duration = kEpochDuration;
+        sim::ClosedLoopSimulator loop(
+            network::single_bottleneck(kN, kMu), discipline,
+            std::make_shared<core::RationalSignal>(), style, adjusters, seed,
+            plan, opts);
+        loop.run(std::vector<double>(kN, 0.1), kEpochs);
+        loop.collect_metrics(metrics);
+        return loop.rates();
+      });
+  runner.last_report().print(std::cerr);
+  if (!cli.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), cli.metrics_out)) {
+    return EXIT_FAILURE;
+  }
+
+  // ---- score every cell against the reservation floor ----------------------
+  bool ok = true;
+  double fs_ind_worst_shortfall = 0.0;
+  double fifo_agg_clean_shortfall = 0.0;
+  double fs_ind_clean_shortfall = 0.0;
+
+  TextTable table({"discipline", "style", "loss", "stale", "r_timid",
+                   "floor", "shortfall", "robust?"});
+  table.set_title("\nfinal allocation vs reservation floor (timid sources)");
+  for (std::size_t idx = 0; idx < grid.size(); ++idx) {
+    const auto p = grid.point(idx);
+    const bool fair_share = p.get("discipline") != 0.0;
+    const bool individual = p.get("style") != 0.0;
+
+    // The analytic model this cell realizes, for check_robustness.
+    std::shared_ptr<const queueing::ServiceDiscipline> q;
+    if (fair_share) {
+      q = std::make_shared<queueing::FairShare>();
+    } else {
+      q = std::make_shared<queueing::Fifo>();
+    }
+    core::FlowControlModel model(
+        network::single_bottleneck(kN, kMu), q,
+        std::make_shared<core::RationalSignal>(),
+        individual ? core::FeedbackStyle::Individual
+                   : core::FeedbackStyle::Aggregate,
+        adjusters);
+    const auto robustness = core::check_robustness(model, finals[idx]);
+
+    // Worst shortfall over the two timid sources, relative to their floor.
+    double shortfall = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      shortfall = std::max(shortfall, robustness.shortfall[i]);
+    }
+    const double timid_rate = std::min(finals[idx][0], finals[idx][1]);
+
+    if (fair_share && individual) {
+      fs_ind_worst_shortfall = std::max(fs_ind_worst_shortfall, shortfall);
+      if (p.get("loss") == 0.0 && p.get("delay") == 0.0) {
+        fs_ind_clean_shortfall = shortfall;
+      }
+    }
+    if (!fair_share && !individual && p.get("loss") == 0.0 &&
+        p.get("delay") == 0.0) {
+      fifo_agg_clean_shortfall = shortfall;
+    }
+
+    table.add_row({fair_share ? "FairShare" : "FIFO",
+                   individual ? "individual" : "aggregate",
+                   fmt(p.get("loss"), 2), fmt(p.get("delay"), 0),
+                   fmt(timid_rate, 4), fmt(robustness.floor[0], 4),
+                   fmt(shortfall, 4), fmt_bool(robustness.robust)});
+  }
+  table.print(std::cout);
+
+  // ---- the claims ----------------------------------------------------------
+  const double floor_timid = kBetaTimid * kMu / static_cast<double>(kN);
+  // (1) Unimpaired anchors: Theorem 5's dichotomy on the packet simulator.
+  const bool anchor_fs =
+      fs_ind_clean_shortfall <= 0.15 * floor_timid;
+  const bool anchor_fifo =
+      fifo_agg_clean_shortfall >= 0.5 * floor_timid;
+  // (2) Graceful degradation: with Fair Share + individual feedback, even
+  // 50% signal loss and 3-epoch staleness never cost a timid source more
+  // than half its reservation floor in this configuration.
+  const bool graceful = fs_ind_worst_shortfall <= 0.5 * floor_timid;
+  ok = anchor_fs && anchor_fifo && graceful;
+
+  std::cout << "\nunimpaired individual+FairShare meets the floor (shortfall "
+            << fmt(fs_ind_clean_shortfall, 4) << " <= 15% of "
+            << fmt(floor_timid, 4) << "): " << fmt_bool(anchor_fs)
+            << "\nunimpaired aggregate+FIFO starves timid (shortfall "
+            << fmt(fifo_agg_clean_shortfall, 4) << " >= 50% of floor): "
+            << fmt_bool(anchor_fifo)
+            << "\nindividual+FairShare degrades gracefully under impairment "
+               "(worst shortfall "
+            << fmt(fs_ind_worst_shortfall, 4) << " <= 50% of floor): "
+            << fmt_bool(graceful) << "\n";
+
+  std::cout << "\nE13 (impairment robustness) reproduced: "
+            << (ok ? "YES" : "NO") << "\n";
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

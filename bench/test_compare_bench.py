@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Self-test for compare_bench.py (registered as ctest `compare_bench_selftest`).
+
+Pins the two behaviours PR 4 fixed:
+  * a benchmark reporting items_per_second in one snapshot but only cpu_time
+    in the other is flagged incomparable, never diffed across units (an
+    items/s value used to be compared against 1/cpu_time, i.e. nonsense);
+  * the delta table's column width covers only_new/only_base names too, so
+    their rows stay aligned with the header.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def snapshot(benches):
+    return {"schema": "ffc.bench.v1",
+            "benchmarks": {"perf_x": {"benchmarks": benches}}}
+
+
+def run(base, new, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        new_path = os.path.join(tmp, "new.json")
+        with open(base_path, "w") as fh:
+            json.dump(base, fh)
+        with open(new_path, "w") as fh:
+            json.dump(new, fh)
+        return subprocess.run(
+            [sys.executable, SCRIPT, base_path, new_path, *extra],
+            capture_output=True, text=True)
+
+
+def main():
+    # BM_units reports items/s in base but only cpu_time in new: without the
+    # guard, 2e6 items/s vs 1/(50ns) = 2e7 "runs/s" would read as a +900%
+    # speedup. It must be excluded from the comparison instead.
+    base = snapshot([
+        {"name": "BM_units", "cpu_time": 500.0, "items_per_second": 2e6},
+        {"name": "BM_same", "cpu_time": 100.0},
+        {"name": "BM_gone_with_a_very_long_name", "cpu_time": 10.0},
+    ])
+    new = snapshot([
+        {"name": "BM_units", "cpu_time": 50.0},
+        {"name": "BM_same", "cpu_time": 100.0},
+        {"name": "BM_added_with_an_even_longer_benchmark_name",
+         "cpu_time": 10.0},
+    ])
+    proc = run(base, new)
+    out = proc.stdout
+    assert proc.returncode == 0, f"gate failed unexpectedly:\n{out}\n{proc.stderr}"
+    assert "incomparable (items/s vs runs/s)" in out, out
+    assert "1 incomparable" in out, out
+    assert "1 compared" in out, out
+    assert "INCOMPARABLE perf_x/BM_units" in proc.stderr, proc.stderr
+
+    # Column alignment: every data row must be at least as wide as the
+    # longest printed name, so the columns line up under the header.
+    lines = [l for l in out.splitlines() if l.startswith("perf_x/")]
+    width = max(len("perf_x/BM_gone_with_a_very_long_name"),
+                len("perf_x/BM_added_with_an_even_longer_benchmark_name"))
+    for line in lines:
+        name = line.split()[0]
+        assert line.index(name) == 0 and len(line) > width, \
+            f"misaligned row: {line!r}"
+        assert line[:width + 1].rstrip() == name or len(name) > width, \
+            f"name column overflows: {line!r}"
+
+    # A genuine like-unit regression must still trip the gate.
+    base_r = snapshot([{"name": "BM_slow", "cpu_time": 100.0}])
+    new_r = snapshot([{"name": "BM_slow", "cpu_time": 200.0}])
+    proc = run(base_r, new_r)
+    assert proc.returncode == 1, f"missed regression:\n{proc.stdout}"
+    assert "REGRESSION" in proc.stdout, proc.stdout
+
+    print("compare_bench selftest: OK")
+
+
+if __name__ == "__main__":
+    main()

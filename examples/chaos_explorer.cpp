@@ -14,19 +14,30 @@
 #include "core/onedmap.hpp"
 #include "core/rate_adjustment.hpp"
 #include "core/signal.hpp"
+#include "exec/cli.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/table.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: chaos_explorer [eta>0] [N>0] [beta in (0,1)]\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ffc;
 
-  const double eta = argc > 1 ? std::stod(argv[1]) : 0.24;
-  const std::size_t n = argc > 2 ? std::stoul(argv[2]) : 8;
-  const double beta = argc > 3 ? std::stod(argv[3]) : 0.5;
-  if (eta <= 0 || n == 0 || beta <= 0 || beta >= 1) {
-    std::cerr << "usage: chaos_explorer [eta>0] [N>0] [beta in (0,1)]\n";
-    return EXIT_FAILURE;
-  }
+  double eta = 0.24;
+  std::size_t n = 8;
+  double beta = 0.5;
+  if (argc > 4) return usage();
+  if (argc > 1 && !exec::parse_double(argv[1], eta)) return usage();
+  if (argc > 2 && !exec::parse_size(argv[2], n)) return usage();
+  if (argc > 3 && !exec::parse_double(argv[3], beta)) return usage();
+  if (eta <= 0 || n == 0 || beta <= 0 || beta >= 1) return usage();
 
   std::cout << "symmetric aggregate feedback, B(C) = (C/(1+C))^2, f = eta("
             << beta << " - b), N = " << n << ", eta = " << eta

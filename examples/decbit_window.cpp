@@ -8,25 +8,48 @@
 #include <iostream>
 #include <string>
 
+#include "exec/cli.hpp"
 #include "network/builders.hpp"
 #include "network/topology.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/table.hpp"
 #include "sim/window_sim.hpp"
 
+namespace {
+
+int usage() {
+  std::cerr << "usage: decbit_window [bit_rule: agg|own] "
+               "[discipline: fifo|fq] [seed]\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ffc;
 
+  // Tokens are matched strictly: anything other than the documented values
+  // is a usage error (a typo used to silently fall back to the default).
   sim::WindowOptions opts;
   opts.bit_rule = sim::BitRule::AggregateQueue;
-  if (argc > 1 && std::strcmp(argv[1], "own") == 0) {
-    opts.bit_rule = sim::BitRule::OwnQueue;
-  }
   sim::SimDiscipline discipline = sim::SimDiscipline::Fifo;
-  if (argc > 2 && std::strcmp(argv[2], "fq") == 0) {
-    discipline = sim::SimDiscipline::FairQueueing;
+  std::uint64_t seed = 2718;
+  if (argc > 4) return usage();
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "own") == 0) {
+      opts.bit_rule = sim::BitRule::OwnQueue;
+    } else if (std::strcmp(argv[1], "agg") != 0) {
+      return usage();
+    }
   }
-  const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 2718;
+  if (argc > 2) {
+    if (std::strcmp(argv[2], "fq") == 0) {
+      discipline = sim::SimDiscipline::FairQueueing;
+    } else if (std::strcmp(argv[2], "fifo") != 0) {
+      return usage();
+    }
+  }
+  if (argc > 3 && !exec::parse_u64(argv[3], seed)) return usage();
 
   // Short-RTT and long-RTT connections sharing a mu = 1 bottleneck.
   network::Topology topo({{1.0, 0.1}, {100.0, 5.0}},

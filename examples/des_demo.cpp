@@ -9,13 +9,25 @@
 #include <string>
 
 #include "core/ffc.hpp"
+#include "exec/cli.hpp"
 #include "report/table.hpp"
 #include "sim/feedback_sim.hpp"
 #include "sim/network_sim.hpp"
 
+namespace {
+
+int usage() {
+  std::cerr << "usage: des_demo [seed]\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ffc;
-  const std::uint64_t seed = argc > 1 ? std::stoull(argv[1]) : 7777;
+  std::uint64_t seed = 7777;
+  if (argc > 2) return usage();
+  if (argc > 1 && !exec::parse_u64(argv[1], seed)) return usage();
 
   // A two-hop tandem shared by a long connection, with one cross connection
   // at each hop.

@@ -14,18 +14,30 @@
 #include <vector>
 
 #include "core/ffc.hpp"
+#include "exec/cli.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/table.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: hetero_showdown [beta_timid] [beta_greedy] with "
+               "0 < timid < greedy < 1\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ffc;
 
-  const double beta_timid = argc > 1 ? std::stod(argv[1]) : 0.35;
-  const double beta_greedy = argc > 2 ? std::stod(argv[2]) : 0.65;
+  double beta_timid = 0.35;
+  double beta_greedy = 0.65;
+  if (argc > 3) return usage();
+  if (argc > 1 && !exec::parse_double(argv[1], beta_timid)) return usage();
+  if (argc > 2 && !exec::parse_double(argv[2], beta_greedy)) return usage();
   if (beta_timid <= 0 || beta_greedy >= 1 || beta_timid >= beta_greedy) {
-    std::cerr << "usage: hetero_showdown [beta_timid] [beta_greedy] with "
-                 "0 < timid < greedy < 1\n";
-    return EXIT_FAILURE;
+    return usage();
   }
 
   const auto topo = network::single_bottleneck(2, 1.0);

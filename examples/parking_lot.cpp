@@ -12,19 +12,30 @@
 #include <string>
 
 #include "core/ffc.hpp"
+#include "exec/cli.hpp"
 #include "report/table.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: parking_lot [hops>0] [cross_per_hop] "
+               "[beta in (0,1)]\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ffc;
 
-  const std::size_t hops = argc > 1 ? std::stoul(argv[1]) : 4;
-  const std::size_t cross = argc > 2 ? std::stoul(argv[2]) : 2;
-  const double beta = argc > 3 ? std::stod(argv[3]) : 0.6;
-  if (hops == 0 || beta <= 0.0 || beta >= 1.0) {
-    std::cerr << "usage: parking_lot [hops>0] [cross_per_hop] "
-                 "[beta in (0,1)]\n";
-    return EXIT_FAILURE;
-  }
+  std::size_t hops = 4;
+  std::size_t cross = 2;
+  double beta = 0.6;
+  if (argc > 4) return usage();
+  if (argc > 1 && !exec::parse_size(argv[1], hops)) return usage();
+  if (argc > 2 && !exec::parse_size(argv[2], cross)) return usage();
+  if (argc > 3 && !exec::parse_double(argv[3], beta)) return usage();
+  if (hops == 0 || beta <= 0.0 || beta >= 1.0) return usage();
 
   const auto topo = network::parking_lot(hops, cross, /*mu=*/1.0,
                                          /*latency=*/0.05);

@@ -12,19 +12,30 @@
 #include <string>
 
 #include "core/ffc.hpp"
+#include "exec/cli.hpp"
 #include "report/table.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: quickstart [num_connections>0] [mu>0] "
+               "[beta in (0,1)]\n";
+  return EXIT_FAILURE;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ffc;
 
-  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 4;
-  const double mu = argc > 2 ? std::stod(argv[2]) : 1.0;
-  const double beta = argc > 3 ? std::stod(argv[3]) : 0.5;
-  if (n == 0 || mu <= 0.0 || beta <= 0.0 || beta >= 1.0) {
-    std::cerr << "usage: quickstart [num_connections>0] [mu>0] "
-                 "[beta in (0,1)]\n";
-    return EXIT_FAILURE;
-  }
+  std::size_t n = 4;
+  double mu = 1.0;
+  double beta = 0.5;
+  if (argc > 4) return usage();
+  if (argc > 1 && !exec::parse_size(argv[1], n)) return usage();
+  if (argc > 2 && !exec::parse_double(argv[2], mu)) return usage();
+  if (argc > 3 && !exec::parse_double(argv[3], beta)) return usage();
+  if (n == 0 || mu <= 0.0 || beta <= 0.0 || beta >= 1.0) return usage();
 
   // 1. A network: n connections through one gateway of service rate mu.
   auto topo = network::single_bottleneck(n, mu);

@@ -77,7 +77,14 @@ AsyncResult run_async(const FlowControlModel& model,
     throw std::invalid_argument("run_async: invalid options");
   }
 
+  const bool impaired = options.faults != nullptr && !options.faults->empty();
+  if (impaired) options.faults->validate_signal_fields();
+  const faults::FaultPlan plan = impaired ? *options.faults : faults::FaultPlan{};
+
   stats::Xoshiro256 rng(options.seed);
+  // Separate stream for fault decisions, so an impaired run's pacing and
+  // jitter stay identical to the unimpaired run's (docs/FAULTS.md).
+  stats::Xoshiro256 fault_rng(impaired ? plan.fault_seed(options.seed) : 0);
   std::vector<double> rates = std::move(initial);
   RateHistory history(rates);
 
@@ -117,30 +124,52 @@ AsyncResult run_async(const FlowControlModel& model,
     }
     now = t;
 
-    // The source observes the network as it was `lag` ago.
+    // The source observes the network as it was `lag` ago; the fault plan
+    // can add a fixed extra staleness on top of the RTT-proportional lag.
     const NetworkState fresh = model.observe(rates);
     const double own_delay = fresh.delays[who];
-    const double lag =
+    double lag =
         options.feedback_delay_factor *
         (std::isfinite(own_delay) ? own_delay : clamp_period(own_delay));
+    if (impaired && plan.signal_delay_time > 0.0) {
+      lag += plan.signal_delay_time;
+      ++result.fault_counters.signals_delayed;
+    }
     const NetworkState observed =
         lag > 0.0 ? model.observe(history.at(now - lag)) : fresh;
 
-    const double f = model.adjuster(who)(rates[who],
-                                         observed.combined_signals[who],
-                                         observed.delays[who]);
-    const double updated = std::max(0.0, rates[who] + f);
-    const double movement =
-        std::fabs(updated - rates[who]) / std::max(scale, rates[who]);
-    if (now >= settle_start) {
-      result.residual = std::max(result.residual, movement);
+    // Loss drops this update entirely (the source holds its rate until its
+    // next tick); duplication processes the same signal twice.
+    int applications = 1;
+    if (impaired) {
+      if (plan.signal_loss_prob > 0.0 &&
+          fault_rng.uniform01() < plan.signal_loss_prob) {
+        applications = 0;
+        ++result.fault_counters.signals_lost;
+      } else if (plan.signal_duplicate_prob > 0.0 &&
+                 fault_rng.uniform01() < plan.signal_duplicate_prob) {
+        applications = 2;
+        ++result.fault_counters.signals_duplicated;
+      }
     }
-    rates[who] = updated;
-    scale = std::max(scale, updated);
-    history.record(now, rates);
-    // Stale observations never look back more than ~100 delay units.
-    history.trim_before(now - 200.0);
-    ++result.updates_performed;
+    for (int apply = 0; apply < applications; ++apply) {
+      const double f = model.adjuster(who)(rates[who],
+                                           observed.combined_signals[who],
+                                           observed.delays[who]);
+      const double updated = std::max(0.0, rates[who] + f);
+      const double movement =
+          std::fabs(updated - rates[who]) / std::max(scale, rates[who]);
+      if (now >= settle_start) {
+        result.residual = std::max(result.residual, movement);
+      }
+      rates[who] = updated;
+      scale = std::max(scale, updated);
+      history.record(now, rates);
+      ++result.updates_performed;
+    }
+    // Stale observations never look back more than ~100 delay units (plus
+    // whatever fixed staleness the fault plan adds).
+    history.trim_before(now - 200.0 - plan.signal_delay_time);
 
     const double period =
         options.rtt_paced ? clamp_period(own_delay) : options.fixed_period;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "faults/fault_plan.hpp"
 
 namespace ffc::core {
 
@@ -51,6 +52,14 @@ struct AsyncOptions {
   /// Fraction of the horizon (from the end) over which settling is judged.
   double settle_window_fraction = 0.2;
   double settle_tolerance = 1e-5;  ///< relative rate movement threshold
+  /// Optional feedback-path impairment (docs/FAULTS.md; borrowed, must
+  /// outlive the call). Only the signal fields apply here: per update the
+  /// acted-on signal may be lost (the source holds its rate), processed
+  /// twice, or made `signal_delay_time` staler on top of the delay-factor
+  /// lag. The fault stream derives from faults->fault_seed(seed), so it
+  /// never perturbs the pacing/jitter stream; null or an empty plan leaves
+  /// the run bitwise-identical to the unimpaired one.
+  const faults::FaultPlan* faults = nullptr;
 };
 
 /// Result of an asynchronous run.
@@ -64,6 +73,10 @@ struct AsyncResult {
   /// Largest relative rate movement observed inside the settle window.
   double residual = 0.0;
   std::uint64_t updates_performed = 0;
+  /// Signal-path fault counts (all zero when options.faults was null or
+  /// empty). updates_performed counts APPLIED updates; a lost signal skips
+  /// the update and counts here instead.
+  faults::FaultCounters fault_counters;
 };
 
 /// Runs the asynchronous dynamics from `initial`.

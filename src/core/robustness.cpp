@@ -68,18 +68,38 @@ RobustnessReport check_robustness(const FlowControlModel& model,
 
 double theorem5_violation(const queueing::ServiceDiscipline& discipline,
                           const std::vector<double>& rates, double mu) {
+  if (!(mu > 0.0) || !std::isfinite(mu)) {
+    throw std::invalid_argument("theorem5_violation: mu must be finite, > 0");
+  }
+  for (double r : rates) {
+    if (!std::isfinite(r) || r < 0.0) {
+      throw std::invalid_argument(
+          "theorem5_violation: rates must be finite and >= 0");
+    }
+  }
   const std::vector<double> q = discipline.queue_lengths(rates, mu);
   const double n = static_cast<double>(rates.size());
-  double worst = -std::numeric_limits<double>::infinity();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double worst = -kInf;
   bool any = false;
   for (std::size_t i = 0; i < rates.size(); ++i) {
+    // Theorem 5 conditions only connections strictly below the saturation
+    // boundary N r_i < mu; at or past it (slack <= 0) the bound is vacuous
+    // and i is excluded. If every i is excluded the condition holds
+    // trivially and the margin is 0.
     const double slack_rate = mu - n * rates[i];
-    if (!(slack_rate > 0.0)) continue;  // condition is vacuous for this i
+    if (!(slack_rate > 0.0)) continue;
     any = true;
     const double bound = rates[i] / slack_rate;
-    const double margin =
-        std::isinf(q[i]) ? std::numeric_limits<double>::infinity()
-                         : q[i] - bound;
+    // Just inside the boundary the bound itself can overflow to +inf; an
+    // infinite queue then still SATISFIES an infinite bound (margin 0, not
+    // the NaN of inf - inf, and not a spurious violation).
+    double margin;
+    if (std::isinf(bound)) {
+      margin = std::isinf(q[i]) ? 0.0 : -kInf;
+    } else {
+      margin = std::isinf(q[i]) ? kInf : q[i] - bound;
+    }
     worst = std::max(worst, margin);
   }
   if (!any) return 0.0;

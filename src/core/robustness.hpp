@@ -45,6 +45,15 @@ RobustnessReport check_robustness(const FlowControlModel& model,
 /// Theorem 5's single-gateway condition on the service discipline:
 /// Q_i(r) <= r_i / (mu - N r_i) for every i with N r_i < mu. Returns the
 /// worst violation margin (positive = violated) over the given rate vector.
+///
+/// Saturation boundary (documented exclusion): a connection with
+/// N r_i >= mu is outside the theorem's hypothesis and is skipped; if every
+/// connection is excluded the condition holds vacuously and the margin is 0.
+/// Just inside the boundary the analytic bound r_i / (mu - N r_i) may
+/// overflow to +infinity -- an infinite queue then still satisfies the
+/// (infinite) bound, so the margin is 0 there, +infinity only where a queue
+/// diverges against a finite bound. Throws std::invalid_argument on
+/// non-finite/negative rates or mu <= 0.
 double theorem5_violation(const queueing::ServiceDiscipline& discipline,
                           const std::vector<double>& rates, double mu);
 

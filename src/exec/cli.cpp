@@ -1,7 +1,9 @@
 #include "exec/cli.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -50,15 +52,6 @@ TakeResult take_flag_value(std::string_view name, int argc, char** argv,
   return TakeResult::NoMatch;
 }
 
-/// Strict decimal parse: the whole string must be digits (std::from_chars,
-/// no sign, no leading whitespace, no trailing junk, no overflow).
-bool parse_u64(std::string_view text, std::uint64_t& out) {
-  const char* first = text.data();
-  const char* last = text.data() + text.size();
-  const auto [ptr, ec] = std::from_chars(first, last, out, 10);
-  return ec == std::errc() && ptr == last && !text.empty();
-}
-
 /// Parses a numeric flag value or reports an error.
 bool parse_numeric_flag(std::string_view name, const std::string& value,
                         std::uint64_t& out) {
@@ -69,6 +62,38 @@ bool parse_numeric_flag(std::string_view name, const std::string& value,
 }
 
 }  // namespace
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc() || ptr != last) return false;
+  out = value;
+  return true;
+}
+
+bool parse_size(std::string_view text, std::size_t& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value)) return false;
+  if constexpr (sizeof(std::size_t) < sizeof(std::uint64_t)) {
+    if (value > std::numeric_limits<std::size_t>::max()) return false;
+  }
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || !std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
 
 SweepCli parse_sweep_cli(int argc, char** argv, std::uint64_t default_seed) {
   SweepCli cli;

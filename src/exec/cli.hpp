@@ -21,12 +21,28 @@
 // silently-wrong configuration.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "exec/sweep_runner.hpp"
 
 namespace ffc::exec {
+
+/// Strict full-string decimal parse (std::from_chars): no sign, no leading
+/// whitespace, no trailing junk, no overflow. Returns false (out untouched)
+/// on any deviation -- "12x", "-3", " 7", "" all fail.
+bool parse_u64(std::string_view text, std::uint64_t& out);
+
+/// Same, narrowed to std::size_t (fails if the value does not fit).
+bool parse_size(std::string_view text, std::size_t& out);
+
+/// Strict full-string floating-point parse: the entire string must parse
+/// and the result must be FINITE ("inf"/"nan"/"1e999" fail; a leading '-'
+/// is allowed, range checks are the caller's job). No locale, no partial
+/// consumption -- "0.5x" fails where std::stod would silently return 0.5.
+bool parse_double(std::string_view text, double& out);
 
 /// Parsed sweep flags.
 struct SweepCli {

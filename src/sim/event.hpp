@@ -29,6 +29,7 @@ enum class EventKind : std::uint8_t {
   Propagate,        ///< a packet crosses a line; delivery/ACK when the hop
                     ///< index has run off the end of the path
   EpochTick,        ///< periodic controller / epoch boundary
+  Fault,            ///< fault-plan action fires (index = compiled action id)
 };
 
 /// Fixed-size event payload. Which fields are meaningful is a contract
@@ -37,6 +38,7 @@ enum class EventKind : std::uint8_t {
 ///   ServiceComplete  generation (stale-completion invalidation)
 ///   Propagate        packet (connection, hop, created, congestion_bit)
 ///   EpochTick        index + generation, handler-defined
+///   Fault            index (fault-action id in the handler's compiled plan)
 struct SimEvent {
   EventKind kind = EventKind::Generic;
   std::uint32_t index = 0;

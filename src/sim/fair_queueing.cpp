@@ -29,7 +29,21 @@ void FairQueueingServer::arrival(Packet packet, std::size_t local_conn) {
   if (!in_service_) start_service();
 }
 
+void FairQueueingServer::on_service_factor_changed() {
+  ++generation_;  // invalidate any pending completion
+  if (service_halted()) return;  // job (if any) parks until recovery
+  if (in_service_) {
+    // The packet's size (service_time) was fixed at arrival; a rate change
+    // restarts its transmission at the new effective rate.
+    schedule_completion_in(in_service_->service_time / service_factor(),
+                           generation_);
+  } else {
+    start_service();
+  }
+}
+
 void FairQueueingServer::start_service() {
+  if (service_halted()) return;
   // Pick the head-of-line packet with the smallest finish tag.
   std::size_t best = backlog_.size();
   double best_tag = std::numeric_limits<double>::infinity();
@@ -48,7 +62,7 @@ void FairQueueingServer::start_service() {
   backlog_[best].pop_front();
   virtual_time_ = in_service_->finish_tag;
   const std::uint64_t gen = ++generation_;
-  schedule_completion_in(in_service_->service_time, gen);
+  schedule_completion_in(in_service_->service_time / service_factor(), gen);
 }
 
 void FairQueueingServer::on_service_complete(std::uint64_t generation) {

@@ -36,6 +36,7 @@ class FairQueueingServer final : public GatewayServer {
 
  protected:
   void on_service_complete(std::uint64_t generation) override;
+  void on_service_factor_changed() override;
 
  private:
   void start_service();

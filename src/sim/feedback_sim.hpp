@@ -17,7 +17,9 @@
 #include "core/congestion.hpp"
 #include "core/rate_adjustment.hpp"
 #include "core/signal.hpp"
+#include "faults/fault_plan.hpp"
 #include "sim/network_sim.hpp"
+#include "stats/rng.hpp"
 
 namespace ffc::report {
 class JsonWriter;
@@ -54,8 +56,24 @@ class ClosedLoopSimulator {
       std::vector<std::shared_ptr<const core::RateAdjustment>> adjusters,
       std::uint64_t seed, ClosedLoopOptions options = {});
 
+  /// Same, with a fault plan (docs/FAULTS.md). The plan's gateway windows
+  /// and churn go to the underlying NetworkSimulator; its signal-path
+  /// fields impair the feedback loop here: per connection per epoch the
+  /// congestion signal may be lost (no rate update), acted on stale
+  /// (signal_delay_epochs old), or processed twice. The fault stream is
+  /// drawn from fault_seed(seed), independent of the packet-level streams.
+  /// An empty plan is bitwise-identical to the plain constructor.
+  ClosedLoopSimulator(
+      network::Topology topology, SimDiscipline discipline,
+      std::shared_ptr<const core::SignalFunction> signal,
+      core::FeedbackStyle style,
+      std::vector<std::shared_ptr<const core::RateAdjustment>> adjusters,
+      std::uint64_t seed, faults::FaultPlan plan,
+      ClosedLoopOptions options = {});
+
   /// Runs `epochs` rate updates starting from `initial_rates`; returns one
-  /// record per epoch.
+  /// record per epoch. Each run() starts a fresh trajectory (the stale-
+  /// signal history is cleared; the fault RNG stream continues).
   std::vector<EpochRecord> run(const std::vector<double>& initial_rates,
                                std::size_t epochs);
 
@@ -63,6 +81,17 @@ class ClosedLoopSimulator {
   const std::vector<double>& rates() const { return rates_; }
 
   NetworkSimulator& network() { return sim_; }
+
+  /// Signal-path fault counts applied so far (the packet-level counts live
+  /// in network().fault_counters(); both are all-zero without a plan).
+  const faults::FaultCounters& fault_counters() const {
+    return fault_counters_;
+  }
+
+  /// Forwards to the network simulator's collect_metrics and, when a
+  /// non-empty plan is attached, adds this loop's signal-path faults.*
+  /// counters on top (registries sum, so the result is the union).
+  void collect_metrics(obs::MetricRegistry& registry) const;
 
  private:
   EpochRecord run_one_epoch();
@@ -73,6 +102,14 @@ class ClosedLoopSimulator {
   std::vector<std::shared_ptr<const core::RateAdjustment>> adjusters_;
   ClosedLoopOptions options_;
   std::vector<double> rates_;
+
+  faults::FaultPlan plan_;
+  bool impaired_ = false;
+  stats::Xoshiro256 fault_rng_;
+  faults::FaultCounters fault_counters_;
+  /// Ring of the last signal_delay_epochs + 1 measured signal vectors
+  /// (newest last); the adjusters act on the oldest retained entry.
+  std::vector<std::vector<double>> signal_history_;
 };
 
 }  // namespace ffc::sim

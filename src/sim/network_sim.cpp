@@ -1,5 +1,6 @@
 #include "sim/network_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/fair_queueing.hpp"
@@ -12,6 +13,13 @@ namespace ffc::sim {
 NetworkSimulator::NetworkSimulator(network::Topology topology,
                                    SimDiscipline discipline,
                                    std::uint64_t seed)
+    : NetworkSimulator(std::move(topology), discipline, seed,
+                       faults::FaultPlan{}) {}
+
+NetworkSimulator::NetworkSimulator(network::Topology topology,
+                                   SimDiscipline discipline,
+                                   std::uint64_t seed,
+                                   faults::FaultPlan plan)
     : topology_(std::move(topology)),
       discipline_(discipline),
       master_rng_(seed),
@@ -19,7 +27,9 @@ NetworkSimulator::NetworkSimulator(network::Topology topology,
       source_generation_(topology_.num_connections(), 0),
       delay_stats_(topology_.num_connections()),
       delay_samples_(topology_.num_connections()),
-      delivered_(topology_.num_connections(), 0) {
+      delivered_(topology_.num_connections(), 0),
+      plan_(std::move(plan)),
+      source_active_(topology_.num_connections(), 1) {
   const std::size_t num_gw = topology_.num_gateways();
   const std::size_t num_conn = topology_.num_connections();
 
@@ -59,6 +69,93 @@ NetworkSimulator::NetworkSimulator(network::Topology topology,
   for (std::size_t i = 0; i < num_conn; ++i) {
     source_rng_.push_back(master_rng_.split());
   }
+
+  if (!plan_.empty()) {
+    impaired_ = true;
+    plan_.validate(num_gw, num_conn);
+    compile_fault_plan();
+  }
+}
+
+void NetworkSimulator::compile_fault_plan() {
+  // Flatten the schedule: each window contributes an entry action at its
+  // own factor plus a recovery action back to 1.0, each churn pair a
+  // SourceDown and (if the rejoin is finite) a SourceUp.
+  for (const faults::GatewayFault& f : plan_.gateway_faults) {
+    fault_actions_.push_back(
+        {f.start, FaultAction::Kind::GatewayFactor, f.gateway, f.factor});
+    fault_actions_.push_back({f.start + f.duration,
+                              FaultAction::Kind::GatewayFactor, f.gateway,
+                              1.0});
+  }
+  for (const faults::SourceChurn& c : plan_.churn) {
+    fault_actions_.push_back(
+        {c.leave, FaultAction::Kind::SourceDown, c.connection, 0.0});
+    if (std::isfinite(c.rejoin)) {
+      fault_actions_.push_back(
+          {c.rejoin, FaultAction::Kind::SourceUp, c.connection, 1.0});
+    }
+  }
+  // Stable by time: simultaneous actions fire in plan order, and the
+  // calendar's (time, seq) FIFO contract preserves that order on dispatch.
+  std::stable_sort(
+      fault_actions_.begin(), fault_actions_.end(),
+      [](const FaultAction& a, const FaultAction& b) { return a.time < b.time; });
+  for (std::size_t id = 0; id < fault_actions_.size(); ++id) {
+    SimEvent event;
+    event.kind = EventKind::Fault;
+    event.index = static_cast<std::uint32_t>(id);
+    sim_.schedule_event_in(fault_actions_[id].time - sim_.now(), *this, event);
+  }
+}
+
+void NetworkSimulator::apply_fault_action(std::size_t action_index) {
+  const FaultAction& action = fault_actions_.at(action_index);
+  switch (action.kind) {
+    case FaultAction::Kind::GatewayFactor: {
+      servers_.at(action.target)->set_service_factor(action.factor);
+      if (action.factor == 0.0) {
+        ++fault_counters_.gateway_outages;
+      } else if (action.factor < 1.0) {
+        ++fault_counters_.gateway_degradations;
+      } else {
+        ++fault_counters_.gateway_recoveries;
+      }
+      return;
+    }
+    case FaultAction::Kind::SourceDown: {
+      if (!source_active_.at(action.target)) return;  // already gone
+      source_active_[action.target] = 0;
+      ++source_generation_[action.target];  // kills the pending arrival
+      ++fault_counters_.source_leaves;
+      refresh_fair_share_rates();
+      return;
+    }
+    case FaultAction::Kind::SourceUp: {
+      if (source_active_.at(action.target)) return;  // never left
+      source_active_[action.target] = 1;
+      ++fault_counters_.source_joins;
+      refresh_fair_share_rates();
+      const std::uint64_t gen = ++source_generation_[action.target];
+      if (rates_[action.target] > 0.0) {
+        schedule_next_arrival(action.target, gen);
+      }
+      return;
+    }
+  }
+}
+
+void NetworkSimulator::refresh_fair_share_rates() {
+  if (discipline_ != SimDiscipline::FairShare) return;
+  for (network::GatewayId a = 0; a < topology_.num_gateways(); ++a) {
+    const auto& members = topology_.connections_through(a);
+    std::vector<double> local_rates(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const network::ConnectionId i = members[k];
+      local_rates[k] = source_active_[i] ? rates_[i] : 0.0;
+    }
+    static_cast<FairShareServer*>(servers_[a].get())->set_rates(local_rates);
+  }
 }
 
 void NetworkSimulator::set_rates(const std::vector<double>& rates) {
@@ -72,24 +169,14 @@ void NetworkSimulator::set_rates(const std::vector<double>& rates) {
     }
   }
   rates_ = rates;
-
-  if (discipline_ == SimDiscipline::FairShare) {
-    for (network::GatewayId a = 0; a < topology_.num_gateways(); ++a) {
-      const auto& members = topology_.connections_through(a);
-      std::vector<double> local_rates(members.size());
-      for (std::size_t k = 0; k < members.size(); ++k) {
-        local_rates[k] = rates_[members[k]];
-      }
-      static_cast<FairShareServer*>(servers_[a].get())
-          ->set_rates(local_rates);
-    }
-  }
+  refresh_fair_share_rates();
 
   // Restart every source process under the new rate; stale arrival events
-  // are invalidated by the generation counter.
+  // are invalidated by the generation counter. Churned-out sources keep
+  // their installed rate but stay silent until their rejoin action fires.
   for (network::ConnectionId i = 0; i < rates_.size(); ++i) {
     const std::uint64_t gen = ++source_generation_[i];
-    if (rates_[i] > 0.0) schedule_next_arrival(i, gen);
+    if (rates_[i] > 0.0 && source_active_[i]) schedule_next_arrival(i, gen);
   }
 }
 
@@ -135,6 +222,9 @@ void NetworkSimulator::handle_event(SimEvent& event) {
       }
       return;
     }
+    case EventKind::Fault:
+      apply_fault_action(event.index);
+      return;
     default:
       return;
   }
@@ -226,6 +316,7 @@ void NetworkSimulator::collect_metrics(obs::MetricRegistry& registry) const {
     served += servers_[a]->packets_served();
   }
   registry.add("net.packets_served", served);
+  if (impaired_) fault_counters_.collect(registry);
 }
 
 }  // namespace ffc::sim

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "network/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/server.hpp"
@@ -38,8 +39,19 @@ class NetworkSimulator : private PacketSink, private EventHandler {
   NetworkSimulator(network::Topology topology, SimDiscipline discipline,
                    std::uint64_t seed);
 
+  /// Same, with a fault plan (docs/FAULTS.md): the plan's gateway windows
+  /// and source churn compile into tagged Fault events on the calendar at
+  /// construction. An empty plan is bitwise-identical to the plain
+  /// constructor -- no events, no extra RNG draws, no extra metrics. The
+  /// plan's signal-path fields are ignored here (they impair the feedback
+  /// loop, which lives in ClosedLoopSimulator / run_async).
+  NetworkSimulator(network::Topology topology, SimDiscipline discipline,
+                   std::uint64_t seed, faults::FaultPlan plan);
+
   /// Sets every source's Poisson rate (and, for Fair Share gateways, the
-  /// class decomposition). Rates must be finite and >= 0.
+  /// class decomposition). Rates must be finite and >= 0. A connection
+  /// currently departed by churn keeps an effective rate of 0 until its
+  /// rejoin, whatever is installed here.
   void set_rates(const std::vector<double>& rates);
 
   /// Advances the simulation by `duration` time units.
@@ -97,8 +109,18 @@ class NetworkSimulator : private PacketSink, private EventHandler {
   /// net.packets_generated / _delivered / _served, and per-gateway
   /// net.gateway<a>.{packets_served, mean_queue}. The occupancy gauges are
   /// time averages since the last reset_metrics(); everything else counts
-  /// from construction.
+  /// from construction. Runs with a non-empty fault plan additionally emit
+  /// the faults.* counter set (docs/FAULTS.md).
   void collect_metrics(obs::MetricRegistry& registry) const;
+
+  /// Per-fault-class counts of the schedule actions applied so far (all
+  /// zeros when constructed without a plan).
+  const faults::FaultCounters& fault_counters() const {
+    return fault_counters_;
+  }
+
+  /// True iff a non-empty fault plan is attached.
+  bool impaired() const { return impaired_; }
 
  private:
   /// PacketSink: a gateway finished serving `packet`; schedule the line
@@ -111,6 +133,24 @@ class NetworkSimulator : private PacketSink, private EventHandler {
 
   void schedule_next_arrival(network::ConnectionId i, std::uint64_t gen);
   void arrive_at_hop(Packet packet);
+
+  /// Flattens the plan's windows/churn into time-sorted actions and puts
+  /// one Fault event per action on the calendar.
+  void compile_fault_plan();
+  void apply_fault_action(std::size_t action_index);
+  /// Re-derives the Fair Share class decomposition from the effective
+  /// (churn-masked) rates.
+  void refresh_fair_share_rates();
+
+  /// One scheduled plan step: set a gateway's service factor, or toggle a
+  /// source's presence.
+  struct FaultAction {
+    enum class Kind : std::uint8_t { GatewayFactor, SourceDown, SourceUp };
+    double time = 0.0;
+    Kind kind = Kind::GatewayFactor;
+    std::size_t target = 0;
+    double factor = 1.0;
+  };
 
   network::Topology topology_;
   SimDiscipline discipline_;
@@ -133,6 +173,14 @@ class NetworkSimulator : private PacketSink, private EventHandler {
   std::uint64_t packets_delivered_total_ = 0;
   double metrics_start_ = 0.0;
   std::uint64_t next_packet_id_ = 0;
+
+  faults::FaultPlan plan_;
+  bool impaired_ = false;
+  faults::FaultCounters fault_counters_;
+  std::vector<FaultAction> fault_actions_;
+  /// source_active_[i] == 0 while connection i is churned out; its installed
+  /// rate is masked to an effective 0 until the rejoin action fires.
+  std::vector<char> source_active_;
 };
 
 }  // namespace ffc::sim

@@ -29,6 +29,16 @@ void GatewayServer::handle_event(SimEvent& event) {
   }
 }
 
+void GatewayServer::set_service_factor(double factor) {
+  if (!std::isfinite(factor) || factor < 0.0) {
+    throw std::invalid_argument(
+        "GatewayServer: service factor must be finite and >= 0");
+  }
+  if (factor == service_factor_) return;  // no-op: keep RNG/calendar intact
+  service_factor_ = factor;
+  on_service_factor_changed();
+}
+
 void GatewayServer::schedule_completion_in(double dt,
                                            std::uint64_t generation) {
   SimEvent event;
@@ -86,11 +96,21 @@ void FifoServer::arrival(Packet packet, std::size_t local_conn) {
 }
 
 void FifoServer::start_service() {
-  if (queue_.empty()) return;
+  if (queue_.empty() || service_halted()) return;
   in_service_ = std::move(queue_.front());
   queue_.pop_front();
   const std::uint64_t gen = ++generation_;
   schedule_completion_in(sample_service_time(), gen);
+}
+
+void FifoServer::on_service_factor_changed() {
+  ++generation_;  // invalidate any pending completion
+  if (service_halted()) return;  // job (if any) parks until recovery
+  if (in_service_) {
+    schedule_completion_in(sample_service_time(), generation_);
+  } else {
+    start_service();
+  }
 }
 
 void FifoServer::on_service_complete(std::uint64_t generation) {
@@ -133,7 +153,18 @@ void PriorityServer::arrival(Packet packet, std::size_t local_conn) {
   }
 }
 
+void PriorityServer::on_service_factor_changed() {
+  ++generation_;  // invalidate any pending completion
+  if (service_halted()) return;  // job (if any) parks until recovery
+  if (in_service_) {
+    schedule_completion_in(sample_service_time(), generation_);
+  } else {
+    start_service();
+  }
+}
+
 void PriorityServer::start_service() {
+  if (service_halted()) return;
   for (std::size_t klass = 0; klass < classes_.size(); ++klass) {
     if (classes_[klass].empty()) continue;
     in_service_ = std::move(classes_[klass].front());

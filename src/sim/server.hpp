@@ -103,6 +103,16 @@ class GatewayServer : public EventHandler {
   std::uint64_t packets_arrived() const { return packets_arrived_; }
   std::uint64_t packets_served() const { return packets_served_; }
 
+  /// Scales the effective service rate: new service times are sampled at
+  /// mu * factor. factor == 0 halts service entirely (a fault-layer outage)
+  /// until a positive factor is restored; the in-flight job, if any, is
+  /// re-timed under the new factor on every change (service is exponential,
+  /// so re-sampling is distributionally exact for rate changes and realizes
+  /// the halt for outages). factor must be finite and >= 0; setting the
+  /// current factor again is a no-op (no RNG draw, no event).
+  void set_service_factor(double factor);
+  double service_factor() const { return service_factor_; }
+
   /// Discards occupancy history (warm-up removal / epoch reset).
   void reset_metrics();
 
@@ -118,17 +128,32 @@ class GatewayServer : public EventHandler {
   /// generation; stale generations (preempted / superseded) must be ignored.
   virtual void on_service_complete(std::uint64_t generation) = 0;
 
+  /// The service factor just changed (set_service_factor). The discipline
+  /// must invalidate any pending completion (bump its generation) and, if
+  /// service is not halted, re-time the job in service -- or start one if
+  /// it was stalled by an outage.
+  virtual void on_service_factor_changed() = 0;
+
+  /// True while an outage (factor == 0) is in force: disciplines must not
+  /// start service, leaving jobs queued until recovery.
+  bool service_halted() const { return service_factor_ == 0.0; }
+
   /// Schedules a tagged ServiceComplete event `dt` from now.
   void schedule_completion_in(double dt, std::uint64_t generation);
 
   Simulator& sim() { return sim_; }
-  double sample_service_time() { return rng_.exponential(mu_); }
+  /// Draws a service time at the effective rate mu * factor. Must not be
+  /// called while service is halted (exponential needs a positive rate).
+  double sample_service_time() {
+    return rng_.exponential(mu_ * service_factor_);
+  }
   void occupancy_delta(std::size_t local_conn, int delta);
   void deliver(Packet packet) { sink_->packet_departed(std::move(packet)); }
 
  private:
   Simulator& sim_;
   double mu_;
+  double service_factor_ = 1.0;
   std::size_t num_local_;
   stats::Xoshiro256 rng_;
   PacketSink* sink_;
@@ -147,6 +172,7 @@ class FifoServer final : public GatewayServer {
 
  protected:
   void on_service_complete(std::uint64_t generation) override;
+  void on_service_factor_changed() override;
 
  private:
   void start_service();
@@ -174,6 +200,7 @@ class PriorityServer : public GatewayServer {
 
  protected:
   void on_service_complete(std::uint64_t generation) override;
+  void on_service_factor_changed() override;
 
  private:
   void start_service();

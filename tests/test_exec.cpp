@@ -391,4 +391,46 @@ TEST(SweepCli, UnknownArgumentsAreStillIgnored) {
   EXPECT_EQ(cli.options.jobs, 3u);
 }
 
+// ---- PR 4: the strict argv parse helpers every example routes through ----
+
+TEST(ParseHelpers, U64AcceptsOnlyFullDecimalStrings) {
+  std::uint64_t v = 77;
+  EXPECT_TRUE(exec::parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(exec::parse_u64("18446744073709551615", v));  // UINT64_MAX
+  EXPECT_EQ(v, 18446744073709551615ull);
+  for (const char* bad : {"", "12x", "x12", "-3", "+3", " 7", "7 ", "0x11",
+                          "1.5", "18446744073709551616"}) {
+    v = 77;
+    EXPECT_FALSE(exec::parse_u64(bad, v)) << bad;
+    EXPECT_EQ(v, 77u) << "out must be untouched on failure: " << bad;
+  }
+}
+
+TEST(ParseHelpers, SizeMirrorsU64WithinRange) {
+  std::size_t n = 5;
+  EXPECT_TRUE(exec::parse_size("42", n));
+  EXPECT_EQ(n, 42u);
+  n = 5;
+  EXPECT_FALSE(exec::parse_size("42seven", n));
+  EXPECT_FALSE(exec::parse_size("-2", n));
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(ParseHelpers, DoubleRequiresFullFiniteNumbers) {
+  double x = -1.0;
+  EXPECT_TRUE(exec::parse_double("0.5", x));
+  EXPECT_DOUBLE_EQ(x, 0.5);
+  EXPECT_TRUE(exec::parse_double("-2.25", x));  // negatives are the
+  EXPECT_DOUBLE_EQ(x, -2.25);                   // caller's range check
+  EXPECT_TRUE(exec::parse_double("1e-3", x));
+  EXPECT_DOUBLE_EQ(x, 1e-3);
+  for (const char* bad : {"", "nope", "0.5x", " 1", "1 ", "inf", "-inf",
+                          "nan", "1e999"}) {
+    x = -1.0;
+    EXPECT_FALSE(exec::parse_double(bad, x)) << bad;
+    EXPECT_DOUBLE_EQ(x, -1.0) << "out must be untouched on failure: " << bad;
+  }
+}
+
 }  // namespace

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/robustness.hpp"
@@ -122,6 +123,54 @@ TEST(Theorem5Condition, InfiniteQueueBelowCapIsViolation) {
   Fifo fifo;
   const std::vector<double> r{0.05, 1.2};
   EXPECT_TRUE(std::isinf(theorem5_violation(fifo, r, 1.0)));
+}
+
+// ---- PR 4 regression: the N r_i -> mu saturation boundary ----------------
+
+TEST(Theorem5Condition, ExactSaturationBoundaryIsExcluded) {
+  // N r_i == mu exactly: the bound's denominator is 0, the hypothesis
+  // N r_i < mu fails, so the connection is outside the theorem and must be
+  // skipped -- not divided by zero. With every connection at the boundary
+  // the condition is vacuous.
+  Fifo fifo;
+  const std::vector<double> r{0.5, 0.5};  // N r_i = 1.0 = mu for both
+  EXPECT_DOUBLE_EQ(theorem5_violation(fifo, r, 1.0), 0.0);
+  FairShare fs;
+  EXPECT_DOUBLE_EQ(theorem5_violation(fs, r, 1.0), 0.0);
+}
+
+TEST(Theorem5Condition, JustInsideBoundaryStaysFiniteAndNonNegative) {
+  // r_i a hair under mu/N: the analytic bound is astronomically large but
+  // the margin must stay well-defined (a finite queue can't beat it).
+  FairShare fs;
+  const double r_i = 0.5 * (1.0 - 1e-15);
+  EXPECT_LE(theorem5_violation(fs, {r_i, r_i}, 1.0), 0.0);
+}
+
+TEST(Theorem5Condition, ValidationRejectsDegenerateInputs) {
+  Fifo fifo;
+  const std::vector<double> r{0.1, 0.2};
+  EXPECT_THROW(theorem5_violation(fifo, r, 0.0), std::invalid_argument);
+  EXPECT_THROW(theorem5_violation(fifo, r, -1.0), std::invalid_argument);
+  EXPECT_THROW(theorem5_violation(
+                   fifo, r, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(theorem5_violation(fifo, {0.1, -0.2}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(theorem5_violation(
+                   fifo, {0.1, std::numeric_limits<double>::quiet_NaN()}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ReservationBaseline, RejectsRhoOutsideOpenUnitInterval) {
+  const auto topo = single_bottleneck(2);
+  EXPECT_THROW(reservation_baseline(topo, {0.0, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(reservation_baseline(topo, {0.5, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(reservation_baseline(
+                   topo, {0.5, std::numeric_limits<double>::quiet_NaN()}),
+               std::invalid_argument);
 }
 
 }  // namespace
