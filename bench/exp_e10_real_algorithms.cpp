@@ -15,13 +15,14 @@
 //
 // Exit code 0 iff all three reproduce.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "sim/network_sim.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -41,10 +42,11 @@ core::FixedPointOptions damped() {
 
 }  // namespace
 
-int main() {
-  std::cout << "== E10: the paper's reading of real flow-control designs "
-               "(§4) ==\n\n";
-  bool ok = true;
+void run_e10(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E10: the paper's reading of real flow-control designs "
+         "(§4) ==\n\n";
+  bool converged = true;
 
   // ---- (1) latency bias of window LIMD ------------------------------------
   // Both connections share gateway 0 (the bottleneck); connection 1 also
@@ -69,26 +71,35 @@ int main() {
                            std::make_shared<core::RationalSignal>(),
                            FeedbackStyle::Aggregate, adj);
     const auto ss = core::solve_fixed_point(model, {0.05, 0.05}, damped());
-    ok = ok && ss.converged;
+    converged = converged && ss.converged;
     const double ratio = ss.rates[0] / std::max(ss.rates[1], 1e-12);
     (which == 0 ? window_ratio : rate_ratio) = ratio;
     bias.add_row({std::string(adj->name()), fmt(ss.rates[0], 4),
                   fmt(ss.rates[1], 4), fmt(ratio, 2),
                   fmt_bool(std::fabs(ratio - 1.0) < 0.05)});
   }
-  bias.print(std::cout);
-  ok = ok && window_ratio > 3.0;                  // window form is biased
-  ok = ok && std::fabs(rate_ratio - 1.0) < 0.05;  // rate form is fair
-  std::cout << "\nwindow LIMD hands the short-RTT connection "
-            << fmt(window_ratio, 2)
-            << "x the throughput; the rate form equalizes (guaranteed "
-               "fair).\n";
+  bias.print(out);
+  ctx.claims.check_at_least(
+      {"E10", "window_limd_rtt_bias"},
+      "Window LIMD hands the short-RTT connection several times the "
+      "long-RTT connection's throughput (latency bias, 4)",
+      window_ratio, 3.0);
+  ctx.claims.check_close(
+      {"E10", "rate_limd_fair"},
+      "The rate reinterpretation of LIMD equalizes the two connections "
+      "(guaranteed fair, 4)",
+      rate_ratio, 1.0, 0.05);
+  out << "\nwindow LIMD hands the short-RTT connection "
+      << fmt(window_ratio, 2)
+      << "x the throughput; the rate form equalizes (guaranteed "
+         "fair).\n";
 
   // ---- (2) neither form is TSI ---------------------------------------------
   TextTable tsi({"adjuster", "r_ss(mu=1)", "r_ss(mu=100)",
                  "ratio (100 if TSI)"});
   tsi.set_title("\nTime-scale test on a single gateway");
   const auto single = network::single_bottleneck(1, 1.0, 0.1);
+  double min_tsi_deviation = 1e300;
   for (int which = 0; which < 2; ++which) {
     std::shared_ptr<const core::RateAdjustment> adj;
     if (which == 0) {
@@ -103,11 +114,17 @@ int main() {
     auto fast_model = model.with_topology(single.scaled_rates(100.0));
     const auto fast = core::solve_fixed_point(fast_model, {0.05}, damped());
     const double ratio = fast.rates[0] / slow.rates[0];
-    ok = ok && std::fabs(ratio - 100.0) > 10.0;
+    min_tsi_deviation =
+        std::min(min_tsi_deviation, std::fabs(ratio - 100.0));
     tsi.add_row({std::string(adj->name()), fmt(slow.rates[0], 4),
                  fmt(fast.rates[0], 4), fmt(ratio, 2)});
   }
-  tsi.print(std::cout);
+  tsi.print(out);
+  ctx.claims.check_at_least(
+      {"E10", "limd_not_tsi"},
+      "Both LIMD forms miss the 100x TSI scaling by a wide margin (neither "
+      "is time-scale invariant)",
+      min_tsi_deviation, 10.0);
 
   // ---- (3) Fair Queueing approximates Fair Share ---------------------------
   TextTable fq({"connection", "rate", "FairShare analytic Q",
@@ -127,6 +144,8 @@ int main() {
     netsim.run_for(40000.0);
     return netsim.mean_queue(0, i);
   };
+  double fq_worst_excess = -1e300;
+  double fifo_polite_min = 1e300;
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const double q_fq = measure(sim::SimDiscipline::FairQueueing, i);
     const double q_fifo = measure(sim::SimDiscipline::Fifo, i);
@@ -135,17 +154,33 @@ int main() {
     if (i < 2) {
       // Polite senders: FQ keeps queues near the FS prediction (within one
       // packet of non-preemptive slack); FIFO lets them diverge.
-      ok = ok && q_fq < expected[i] + 1.2;
-      ok = ok && q_fifo > 10.0;
+      fq_worst_excess = std::max(fq_worst_excess, q_fq - expected[i]);
+      fifo_polite_min = std::min(fifo_polite_min, q_fifo);
     }
   }
-  fq.print(std::cout);
-  std::cout << "\nFQ is non-preemptive, so polite senders pay up to one "
-               "in-flight packet over the\npreemptive Fair Share ideal -- "
-               "but they are insulated from the greedy sender,\nwhile under "
-               "FIFO their queues grow without bound.\n";
+  fq.print(out);
+  ctx.claims.check_true(
+      {"E10", "limd_fixed_points_converge"},
+      "Both LIMD steady-state solves in the latency-bias comparison "
+      "converge",
+      converged);
+  ctx.claims.check_at_most(
+      {"E10", "fq_tracks_fair_share"},
+      "Packet-by-packet Fair Queueing keeps each polite sender's queue "
+      "within ~one in-flight packet of the Fair Share closed form",
+      fq_worst_excess, 1.2);
+  ctx.claims.check_at_least(
+      {"E10", "fifo_unprotected"},
+      "FIFO lets the greedy sender blow up the polite senders' queues "
+      "(no protection)",
+      fifo_polite_min, 10.0);
+  out << "\nFQ is non-preemptive, so polite senders pay up to one "
+         "in-flight packet over the\npreemptive Fair Share ideal -- "
+         "but they are insulated from the greedy sender,\nwhile under "
+         "FIFO their queues grow without bound.\n";
 
-  std::cout << "\nE10 (§4 discussion) reproduced: " << (ok ? "YES" : "NO")
-            << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  out << "\nE10 (§4 discussion) reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

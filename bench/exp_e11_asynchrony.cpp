@@ -18,13 +18,14 @@
 //   * Individual + Fair Share tolerates one-RTT staleness (the realistic
 //     ACK path) and still reaches the fair point.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 #include <numeric>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -38,9 +39,9 @@ using report::TextTable;
 
 }  // namespace
 
-int main() {
-  std::cout << "== E11: asynchronous updates vs the synchronous model ==\n\n";
-  bool ok = true;
+void run_e11(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E11: asynchronous updates vs the synchronous model ==\n\n";
 
   // ---- (1) the E4 instability, asynchronously -----------------------------
   TextTable table({"eta", "sync dynamics", "async lag=0", "async lag=3",
@@ -49,6 +50,7 @@ int main() {
                   "sync threshold eta* = 2/N = 0.25; async updates are "
                   "RTT-paced with 25% jitter");
   const std::size_t n = 8;
+  bool fresh_always_settles = true;
   for (double eta : {0.1, 0.3, 0.5, 1.0, 1.5}) {
     FlowControlModel model(network::single_bottleneck(n, 1.0),
                            std::make_shared<queueing::Fifo>(),
@@ -74,13 +76,18 @@ int main() {
     }
     table.add_row(std::move(row));
     // Fresh asynchronous updates must rescue every synchronous oscillator.
-    ok = ok && fresh_settles;
+    fresh_always_settles = fresh_always_settles && fresh_settles;
   }
-  table.print(std::cout);
-  std::cout << "\nFresh asynchronous updates settle even eta = 1.5 (sync "
-               "threshold 0.25):\nthe synchronous instability is an artifact "
-               "of simultaneous (Jacobi) updates.\nStale feedback brings the "
-               "oscillations back.\n";
+  table.print(out);
+  ctx.claims.check_true(
+      {"E11", "fresh_async_settles"},
+      "With fresh signals, asynchronous interleaving settles every eta, "
+      "including those that oscillate synchronously",
+      fresh_always_settles);
+  out << "\nFresh asynchronous updates settle even eta = 1.5 (sync "
+         "threshold 0.25):\nthe synchronous instability is an artifact "
+         "of simultaneous (Jacobi) updates.\nStale feedback brings the "
+         "oscillations back.\n";
 
   // ---- (2) staleness threshold scan ---------------------------------------
   TextTable lagscan({"feedback lag (RTTs)", "settled?", "residual"});
@@ -103,8 +110,17 @@ int main() {
     lagscan.add_row({fmt(lag, 1), fmt_bool(async.settled),
                      report::fmt_sci(async.residual, 1)});
   }
-  lagscan.print(std::cout);
-  ok = ok && small_lag_settles && large_lag_oscillates;
+  lagscan.print(out);
+  ctx.claims.check_true(
+      {"E11", "small_lag_settles"},
+      "Some lag <= 0.5 RTT still settles at eta = 0.5 (staleness "
+      "threshold exists)",
+      small_lag_settles);
+  ctx.claims.check_true(
+      {"E11", "large_lag_oscillates"},
+      "Some lag >= 4 RTTs oscillates even below the synchronous threshold "
+      "(synchronous analysis is optimistic about feedback lag)",
+      large_lag_oscillates);
 
   // ---- (3) the recommended design under realistic asynchrony --------------
   FlowControlModel fs_model(network::single_bottleneck(4, 1.0),
@@ -121,12 +137,21 @@ int main() {
   for (double r : async.final_rates) {
     worst = std::max(worst, std::fabs(r - 0.125));
   }
-  std::cout << "\nindividual + Fair Share with one-RTT-stale signals: "
-            << (async.settled ? "settles" : "oscillates")
-            << ", max deviation from fair point " << fmt(worst, 5) << "\n";
-  ok = ok && async.settled && worst < 1e-3;
+  out << "\nindividual + Fair Share with one-RTT-stale signals: "
+      << (async.settled ? "settles" : "oscillates")
+      << ", max deviation from fair point " << fmt(worst, 5) << "\n";
+  ctx.claims.check_true(
+      {"E11", "fs_tolerates_one_rtt"},
+      "Individual + Fair Share settles with one-RTT-stale signals (the "
+      "realistic ACK path)",
+      async.settled);
+  ctx.claims.check_at_most(
+      {"E11", "fs_one_rtt_deviation"},
+      "Its final rates sit within 1e-3 of the fair point 0.125",
+      worst, 1e-3);
 
-  std::cout << "\nE11 (asynchrony study) holds: " << (ok ? "YES" : "NO")
-            << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  out << "\nE11 (asynchrony study) holds: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

@@ -18,17 +18,16 @@
 // with its own derived RNG seed; results return in row order, so the table
 // is identical at any thread count. Exit code 0 iff the full matrix matches
 // the paper's table above.
-#include <cstdlib>
-#include <iostream>
 #include <iterator>
 #include <memory>
 
 #include "core/design_eval.hpp"
 #include "core/ffc.hpp"
-#include "exec/cli.hpp"
 #include "exec/param_grid.hpp"
-#include "exec/sweep_runner.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -40,6 +39,7 @@ using report::TextTable;
 
 struct Row {
   const char* label;
+  const char* claim_name;
   FeedbackStyle style;
   std::shared_ptr<const queueing::ServiceDiscipline> discipline;
   DesignGoals expected;
@@ -47,21 +47,21 @@ struct Row {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto cli = ffc::exec::parse_sweep_cli(argc, argv);
-  if (cli.help) return EXIT_SUCCESS;
-  if (cli.error) return EXIT_FAILURE;
-  std::cout << "== E12: the §5 design matrix, measured ==\n\n";
+void run_e12(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E12: the §5 design matrix, measured ==\n\n";
 
   const Row rows[] = {
-      {"aggregate  + FIFO", FeedbackStyle::Aggregate,
+      {"aggregate  + FIFO", "aggregate_fifo_row", FeedbackStyle::Aggregate,
        std::make_shared<queueing::Fifo>(), {true, false, false, false}},
-      {"individual + FIFO", FeedbackStyle::Individual,
+      {"individual + FIFO", "individual_fifo_row", FeedbackStyle::Individual,
        std::make_shared<queueing::Fifo>(), {true, true, false, false}},
-      {"individual + ProcessorSharing", FeedbackStyle::Individual,
+      {"individual + ProcessorSharing", "individual_ps_row",
+       FeedbackStyle::Individual,
        std::make_shared<queueing::ProcessorSharing>(),
        {true, true, false, false}},
-      {"individual + FairShare", FeedbackStyle::Individual,
+      {"individual + FairShare", "individual_fs_row",
+       FeedbackStyle::Individual,
        std::make_shared<queueing::FairShare>(), {true, true, true, true}},
   };
 
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
       "src/core/design_eval.hpp)");
   exec::ParamGrid grid;
   grid.axis("design", {0.0, 1.0, 2.0, 3.0});
-  exec::SweepRunner runner(cli.options);
+  exec::SweepRunner runner(ctx.sweep);
   const auto measured = runner.run(
       grid, [&rows](const exec::GridPoint& p, std::uint64_t seed) {
         const auto& row = rows[p.index()];
@@ -80,13 +80,13 @@ int main(int argc, char** argv) {
         options.seed = seed;
         return core::evaluate_design(row.style, row.discipline, options);
       });
-  runner.last_report().print(std::cerr);
-  if (!cli.metrics_out.empty() &&
-      !exec::write_manifest(runner.last_manifest(), cli.metrics_out)) {
-    return EXIT_FAILURE;
+  runner.last_report().print(ctx.err);
+  if (!ctx.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), ctx.metrics_out)) {
+    ctx.io_error = true;
+    return;
   }
 
-  bool ok = true;
   for (std::size_t i = 0; i < std::size(rows); ++i) {
     const auto& row = rows[i];
     const DesignGoals& goals = measured[i];
@@ -96,21 +96,25 @@ int main(int argc, char** argv) {
         goals.robust == row.expected.robust &&
         goals.unilateral_implies_systemic ==
             row.expected.unilateral_implies_systemic;
-    ok = ok && matches;
+    ctx.claims.check_true(
+        {"E12", row.claim_name},
+        std::string("Measured goal vector for '") + row.label +
+            "' matches the paper's 5 table row",
+        matches);
     table.add_row({row.label, fmt_bool(goals.tsi),
                    fmt_bool(goals.guaranteed_fair), fmt_bool(goals.robust),
                    fmt_bool(goals.unilateral_implies_systemic),
                    fmt_bool(matches)});
   }
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout
-      << "\nThe paper's progression (§5): aggregate -> individual+FIFO -> "
+  out << "\nThe paper's progression (§5): aggregate -> individual+FIFO -> "
          "individual+FairShare\nbuys fairness, then robustness + provable "
          "stability. Processor Sharing shows the\nlast step needs PRIORITY "
          "for low-rate senders, not just instantaneous equality.\n";
 
-  std::cout << "\nE12 (design matrix) reproduced: " << (ok ? "YES" : "NO")
-            << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  out << "\nE12 (design matrix) reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

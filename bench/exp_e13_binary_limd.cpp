@@ -17,13 +17,14 @@
 //
 // Exit code 0 iff all four hold.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 #include <numeric>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -78,11 +79,11 @@ CycleStats measure_cycle(const FlowControlModel& model,
 
 }  // namespace
 
-int main() {
-  std::cout << "== E13: LIMD under binary feedback (§4, Chiu-Jain setting) "
-               "==\n"
-            << "f = (1-b)*0.01 - 0.5*b*r, b = 1{Q_tot >= 1}, N = 2\n\n";
-  bool ok = true;
+void run_e13(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E13: LIMD under binary feedback (§4, Chiu-Jain setting) "
+         "==\n"
+      << "f = (1-b)*0.01 - 0.5*b*r, b = 1{Q_tot >= 1}, N = 2\n\n";
 
   TextTable table({"mu", "attractor", "period", "period/mu", "avg r_0",
                    "avg r_1", "avg/mu", "fair avgs?"});
@@ -90,6 +91,10 @@ int main() {
                   "parameters)");
   double base_period_per_mu = -1.0;
   double base_avg_per_mu = -1.0;
+  bool all_oscillate = true;
+  bool all_fair_avgs = true;
+  double worst_period_drift = 0.0;
+  double worst_avg_drift = 0.0;
   for (double mu : {1.0, 2.0, 4.0, 8.0, 16.0}) {
     FlowControlModel binary_model(
         network::single_bottleneck(2, mu),
@@ -101,21 +106,25 @@ int main() {
     // Deliberately uneven start: fairness of the averages is the claim.
     const auto stats =
         measure_cycle(binary_model, {0.05 * mu, 0.25 * mu});
-    ok = ok && stats.oscillates;
+    all_oscillate = all_oscillate && stats.oscillates;
     const double avg_total =
         std::accumulate(stats.average.begin(), stats.average.end(), 0.0);
     const double period_per_mu = stats.mean_period / mu;
     const bool fair_avgs =
         std::fabs(stats.average[0] - stats.average[1]) <
         0.02 * avg_total;
-    ok = ok && fair_avgs;
+    all_fair_avgs = all_fair_avgs && fair_avgs;
     if (base_period_per_mu < 0.0) {
       base_period_per_mu = period_per_mu;
       base_avg_per_mu = avg_total / mu;
     } else {
       // Linear growth of the period and TSI of the averages, within 25%.
-      ok = ok && std::fabs(period_per_mu / base_period_per_mu - 1.0) < 0.25;
-      ok = ok && std::fabs((avg_total / mu) / base_avg_per_mu - 1.0) < 0.1;
+      worst_period_drift =
+          std::max(worst_period_drift,
+                   std::fabs(period_per_mu / base_period_per_mu - 1.0));
+      worst_avg_drift =
+          std::max(worst_avg_drift,
+                   std::fabs((avg_total / mu) / base_avg_per_mu - 1.0));
     }
     table.add_row({fmt(mu, 0),
                    stats.oscillates ? "sawtooth oscillation" : "other",
@@ -123,16 +132,38 @@ int main() {
                    fmt(stats.average[0], 4), fmt(stats.average[1], 4),
                    fmt(avg_total / mu, 4), fmt_bool(fair_avgs)});
   }
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout << "\nReading: the binary-feedback sawtooth never settles; its "
-               "period scales ~linearly\nwith mu (constant period/mu "
-               "column), while the long-term AVERAGE throughput is\nboth "
-               "TSI (constant avg/mu) and fair (equal averages from uneven "
-               "starts) -- §4's\ncharacterization of the original DECbit "
-               "design.\n";
+  ctx.claims.check_true(
+      {"E13", "oscillates_at_every_mu"},
+      "The binary-feedback sawtooth never settles: a limit cycle at every "
+      "server rate",
+      all_oscillate);
+  ctx.claims.check_true(
+      {"E13", "fair_averages"},
+      "Long-term average rates are equal from uneven starts (fair in the "
+      "mean) at every mu",
+      all_fair_avgs);
+  ctx.claims.check_at_most(
+      {"E13", "period_linear_in_mu"},
+      "The oscillation period grows ~linearly with mu: period/mu stays "
+      "within 25% of its mu = 1 value",
+      worst_period_drift, 0.25);
+  ctx.claims.check_at_most(
+      {"E13", "tsi_averages"},
+      "The long-term average throughput is TSI: avg/mu stays within 10% of "
+      "its mu = 1 value",
+      worst_avg_drift, 0.1);
 
-  std::cout << "\nE13 (binary-feedback LIMD) reproduced: "
-            << (ok ? "YES" : "NO") << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  out << "\nReading: the binary-feedback sawtooth never settles; its "
+         "period scales ~linearly\nwith mu (constant period/mu "
+         "column), while the long-term AVERAGE throughput is\nboth "
+         "TSI (constant avg/mu) and fair (equal averages from uneven "
+         "starts) -- §4's\ncharacterization of the original DECbit "
+         "design.\n";
+
+  out << "\nE13 (binary-feedback LIMD) reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

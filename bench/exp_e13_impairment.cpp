@@ -25,19 +25,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/ffc.hpp"
-#include "exec/cli.hpp"
 #include "exec/param_grid.hpp"
-#include "exec/sweep_runner.hpp"
 #include "faults/fault_plan.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "sim/feedback_sim.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -62,14 +61,12 @@ std::vector<std::shared_ptr<const core::RateAdjustment>> make_adjusters() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto cli = exec::parse_sweep_cli(argc, argv, /*default_seed=*/1990);
-  if (cli.help) return EXIT_SUCCESS;
-  if (cli.error) return EXIT_FAILURE;
-  std::cout << "== E13: Theorem 5 robustness under feedback impairment ==\n"
-            << "timid b_ss = " << kBetaTimid << " (x2) vs greedy b_ss = "
-            << kBetaGreedy << " on one mu = " << kMu << " gateway; "
-            << kEpochs << " epochs of " << kEpochDuration << "\n";
+void run_e13b(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E13: Theorem 5 robustness under feedback impairment ==\n"
+      << "timid b_ss = " << kBetaTimid << " (x2) vs greedy b_ss = "
+      << kBetaGreedy << " on one mu = " << kMu << " gateway; "
+      << kEpochs << " epochs of " << kEpochDuration << "\n";
 
   exec::ParamGrid grid;
   grid.axis("discipline", {0.0, 1.0})   // 0 = FIFO, 1 = Fair Share
@@ -81,7 +78,7 @@ int main(int argc, char** argv) {
 
   // Each task: closed loop over the packet simulator under its fault plan;
   // returns the final rates. Analysis happens afterwards in grid order.
-  exec::SweepRunner runner(cli.options);
+  exec::SweepRunner runner(ctx.sweep);
   const auto finals = runner.run(
       grid,
       [&](const exec::GridPoint& p, std::uint64_t seed,
@@ -106,14 +103,14 @@ int main(int argc, char** argv) {
         loop.collect_metrics(metrics);
         return loop.rates();
       });
-  runner.last_report().print(std::cerr);
-  if (!cli.metrics_out.empty() &&
-      !exec::write_manifest(runner.last_manifest(), cli.metrics_out)) {
-    return EXIT_FAILURE;
+  runner.last_report().print(ctx.err);
+  if (!ctx.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), ctx.metrics_out)) {
+    ctx.io_error = true;
+    return;
   }
 
   // ---- score every cell against the reservation floor ----------------------
-  bool ok = true;
   double fs_ind_worst_shortfall = 0.0;
   double fifo_agg_clean_shortfall = 0.0;
   double fs_ind_clean_shortfall = 0.0;
@@ -165,7 +162,7 @@ int main(int argc, char** argv) {
                    fmt(timid_rate, 4), fmt(robustness.floor[0], 4),
                    fmt(shortfall, 4), fmt_bool(robustness.robust)});
   }
-  table.print(std::cout);
+  table.print(out);
 
   // ---- the claims ----------------------------------------------------------
   const double floor_timid = kBetaTimid * kMu / static_cast<double>(kN);
@@ -178,20 +175,39 @@ int main(int argc, char** argv) {
   // 50% signal loss and 3-epoch staleness never cost a timid source more
   // than half its reservation floor in this configuration.
   const bool graceful = fs_ind_worst_shortfall <= 0.5 * floor_timid;
-  ok = anchor_fs && anchor_fifo && graceful;
 
-  std::cout << "\nunimpaired individual+FairShare meets the floor (shortfall "
-            << fmt(fs_ind_clean_shortfall, 4) << " <= 15% of "
-            << fmt(floor_timid, 4) << "): " << fmt_bool(anchor_fs)
-            << "\nunimpaired aggregate+FIFO starves timid (shortfall "
-            << fmt(fifo_agg_clean_shortfall, 4) << " >= 50% of floor): "
-            << fmt_bool(anchor_fifo)
-            << "\nindividual+FairShare degrades gracefully under impairment "
-               "(worst shortfall "
-            << fmt(fs_ind_worst_shortfall, 4) << " <= 50% of floor): "
-            << fmt_bool(graceful) << "\n";
+  ctx.claims.check_at_most(
+      {"E13b", "unimpaired_fair_share_meets_floor"},
+      "With a perfect feedback path, individual + Fair Share keeps the "
+      "timid sources' shortfall within 15% of the reservation floor",
+      fs_ind_clean_shortfall, 0.15 * floor_timid);
+  ctx.claims.check_at_least(
+      {"E13b", "unimpaired_aggregate_starves"},
+      "With a perfect feedback path, aggregate + FIFO still costs a timid "
+      "source at least half its reservation floor (starvation anchor)",
+      fifo_agg_clean_shortfall, 0.5 * floor_timid);
+  ctx.claims
+      .check_at_most(
+          {"E13b", "graceful_degradation"},
+          "Under every impairment level (up to 50% signal loss and 3-epoch "
+          "staleness), individual + Fair Share's worst timid shortfall "
+          "stays within half the reservation floor",
+          fs_ind_worst_shortfall, 0.5 * floor_timid)
+      .annotate_metrics(runner.last_manifest().merged, "faults.");
 
-  std::cout << "\nE13 (impairment robustness) reproduced: "
-            << (ok ? "YES" : "NO") << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  out << "\nunimpaired individual+FairShare meets the floor (shortfall "
+      << fmt(fs_ind_clean_shortfall, 4) << " <= 15% of "
+      << fmt(floor_timid, 4) << "): " << fmt_bool(anchor_fs)
+      << "\nunimpaired aggregate+FIFO starves timid (shortfall "
+      << fmt(fifo_agg_clean_shortfall, 4) << " >= 50% of floor): "
+      << fmt_bool(anchor_fifo)
+      << "\nindividual+FairShare degrades gracefully under impairment "
+         "(worst shortfall "
+      << fmt(fs_ind_worst_shortfall, 4) << " <= 50% of floor): "
+      << fmt_bool(graceful) << "\n";
+
+  out << "\nE13 (impairment robustness) reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

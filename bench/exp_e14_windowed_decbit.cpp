@@ -21,13 +21,14 @@
 //
 // Exit code 0 iff both rankings hold.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 
 #include "network/builders.hpp"
 #include "network/topology.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "sim/window_sim.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -42,17 +43,17 @@ using sim::WindowOptions;
 
 }  // namespace
 
-int main() {
-  std::cout << "== E14: DECbit window control on the packet simulator ==\n\n";
-  bool ok = true;
+void run_e14(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E14: DECbit window control on the packet simulator ==\n\n";
 
   // ---- (1) bit rule x discipline, RTT-asymmetric workload -----------------
   network::Topology topo({{1.0, 0.1}, {100.0, 5.0}},
                          {network::Connection{{0}},
                           network::Connection{{0, 1}}});
-  std::cout << "workload: short-RTT and long-RTT (~4x) connections sharing "
-               "a mu = 1 bottleneck;\nwindow LIMD (increase 1, decrease "
-               "0.875), bit threshold 2\n\n";
+  out << "workload: short-RTT and long-RTT (~4x) connections sharing "
+         "a mu = 1 bottleneck;\nwindow LIMD (increase 1, decrease "
+         "0.875), bit threshold 2\n\n";
   TextTable matrix({"bit rule", "discipline", "thpt short", "thpt long",
                     "ratio"});
   matrix.set_title("Throughput split (fair would be ~1 after window "
@@ -81,14 +82,23 @@ int main() {
            fmt(ratio, 2)});
     }
   }
-  matrix.print(std::cout);
+  matrix.print(out);
   // Aggregate bits: heavy bias; individual bits: small bias.
-  ok = ok && agg_worst > 4.0 && own_best < 2.0;
-  std::cout << "\nFeedback style dominates fairness: aggregate bits give a "
-            << fmt(agg_worst, 1)
-            << "x split no matter the discipline;\nindividual (own-queue) "
-               "bits bring it under 2x -- the packet-level echo of "
-               "Theorem 3.\n";
+  ctx.claims.check_at_least(
+      {"E14", "aggregate_bits_bias"},
+      "Aggregate bits (original DECbit) give the short-RTT connection at "
+      "least a 4x throughput split regardless of discipline",
+      agg_worst, 4.0);
+  ctx.claims.check_at_most(
+      {"E14", "own_queue_bits_fair"},
+      "Own-queue (selective) bits bring every split under 2x -- the "
+      "packet-level echo of Theorem 3",
+      own_best, 2.0);
+  out << "\nFeedback style dominates fairness: aggregate bits give a "
+      << fmt(agg_worst, 1)
+      << "x split no matter the discipline;\nindividual (own-queue) "
+         "bits bring it under 2x -- the packet-level echo of "
+         "Theorem 3.\n";
 
   // ---- (2) robustness against a bit-ignoring firehose ---------------------
   auto single = network::single_bottleneck(2, 1.0, 0.5);
@@ -113,17 +123,27 @@ int main() {
                     fmt(ws.throughput(0), 4), fmt(ws.throughput(1), 4),
                     fmt(share, 3), fmt_bool(share > 0.3)});
   }
-  robust.print(std::cout);
-  ok = ok && fifo_share < 0.2 && fq_share > 0.3;
-  std::cout << "\nService discipline buys robustness: under FIFO the "
-               "adaptive source keeps "
-            << fmt(100 * fifo_share, 0)
-            << "% of the gateway;\nunder Fair Queueing it keeps "
-            << fmt(100 * fq_share, 0)
-            << "% -- the packet-level echo of Theorem 5 and of the [Dem89] "
-               "simulations.\n";
+  robust.print(out);
+  ctx.claims.check_at_most(
+      {"E14", "fifo_firehose_wins"},
+      "Under FIFO the bit-ignoring firehose takes the gateway: the "
+      "adaptive source keeps under 20% of throughput",
+      fifo_share, 0.2);
+  ctx.claims.check_at_least(
+      {"E14", "fq_protects_adaptive"},
+      "Under Fair Queueing the adaptive source keeps over 30% -- the "
+      "packet-level echo of Theorem 5 and the [Dem89] simulations",
+      fq_share, 0.3);
+  out << "\nService discipline buys robustness: under FIFO the "
+         "adaptive source keeps "
+      << fmt(100 * fifo_share, 0)
+      << "% of the gateway;\nunder Fair Queueing it keeps "
+      << fmt(100 * fq_share, 0)
+      << "% -- the packet-level echo of Theorem 5 and of the [Dem89] "
+         "simulations.\n";
 
-  std::cout << "\nE14 (windowed DECbit) holds: " << (ok ? "YES" : "NO")
-            << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  out << "\nE14 (windowed DECbit) holds: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

@@ -17,12 +17,13 @@
 // Exit code 0 iff individual+FS reconverges fairly after churn and
 // aggregate demonstrably does not.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -52,9 +53,9 @@ std::size_t steps_to_reach(const FlowControlModel& model,
 
 }  // namespace
 
-int main() {
-  std::cout << "== E15: connection churn (join / leave transients) ==\n\n";
-  bool ok = true;
+void run_e15(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E15: connection churn (join / leave transients) ==\n\n";
   const double beta = 0.5;
   const std::size_t max_steps = 50000;
 
@@ -81,6 +82,9 @@ int main() {
        std::make_shared<queueing::Fifo>()},
   };
 
+  bool fs_churn_fair = false, fifo_ind_churn_fair = false;
+  bool agg_join_stuck = false;
+  double agg_newcomer = 1e300;
   for (const auto& design : designs) {
     auto adj = std::make_shared<core::AdditiveTsi>(0.05, beta);
     FlowControlModel model3(network::single_bottleneck(3, 1.0),
@@ -123,21 +127,46 @@ int main() {
                    fmt_bool(churn_fair)});
 
     if (design.style == FeedbackStyle::Individual) {
-      ok = ok && churn_fair;
+      if (design.discipline->name() == std::string_view("FairShare")) {
+        fs_churn_fair = churn_fair;
+      } else {
+        fifo_ind_churn_fair = churn_fair;
+      }
     } else {
-      // Aggregate: the newcomer must be visibly shortchanged.
-      ok = ok && !join_fair && newcomer < 0.5 * beta / 4.0;
+      agg_join_stuck = !join_fair;
+      agg_newcomer = newcomer;
     }
   }
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout
-      << "\nIndividual feedback reconverges to the new fair split after "
+  ctx.claims.check_true(
+      {"E15", "individual_fs_churn_fair"},
+      "Individual + Fair Share reconverges to the new fair split after "
+      "both a join and a leave",
+      fs_churn_fair);
+  ctx.claims.check_true(
+      {"E15", "individual_fifo_churn_fair"},
+      "Individual + FIFO also reconverges fairly after churn (fairness is "
+      "the feedback style's doing)",
+      fifo_ind_churn_fair);
+  ctx.claims.check_true(
+      {"E15", "aggregate_join_stuck"},
+      "Aggregate + FIFO never reaches the new fair split after a join "
+      "(the manifold remembers history)",
+      agg_join_stuck);
+  ctx.claims.check_at_most(
+      {"E15", "aggregate_newcomer_shortchanged"},
+      "The newcomer under aggregate feedback is parked below half the "
+      "fair share beta/4",
+      agg_newcomer, 0.5 * beta / 4.0);
+
+  out << "\nIndividual feedback reconverges to the new fair split after "
          "every change;\naggregate feedback parks the newcomer at whatever "
          "the manifold hands it\n(additive aggregate control preserves rate "
          "DIFFERENCES, so history never fades).\n";
 
-  std::cout << "\nE15 (dynamic traffic) holds: " << (ok ? "YES" : "NO")
-            << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  out << "\nE15 (dynamic traffic) holds: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

@@ -9,15 +9,16 @@
 //       (1-b)eta/d - beta*b*r (window LIMD): the steady state fails to
 //       scale, and the window variant is additionally latency-sensitive.
 //
-// Exit code 0 iff (a) scales linearly, (b) does not.
+// Claims (exit code 0 iff all pass): (a) scales linearly, (b) does not.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "stats/rng.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -38,9 +39,9 @@ FixedPointOptions damped() {
 
 }  // namespace
 
-int main() {
-  std::cout << "== E1: Theorem 1 -- time-scale invariance ==\n\n";
-  bool ok = true;
+void run_e1(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E1: Theorem 1 -- time-scale invariance ==\n\n";
 
   // A random-ish multi-gateway network exercises the full model.
   stats::Xoshiro256 rng(20260705);
@@ -49,7 +50,7 @@ int main() {
   params.num_connections = 6;
   params.latency_max = 0.5;
   const network::Topology topo = network::random_topology(rng, params);
-  std::cout << "network: " << topo.summary() << "\n\n";
+  out << "network: " << topo.summary() << "\n\n";
 
   // ---- (a) TSI adjuster: rates scale with server speed. -----------------
   FlowControlModel tsi_model(
@@ -62,6 +63,8 @@ int main() {
                          "steady?"});
   scale_table.set_title(
       "TSI adjuster f = eta(beta - b): steady state under server scaling");
+  double worst_scaling_error = 0.0;
+  bool all_steady = true;
   for (double c : {1e-2, 1e-1, 1.0, 1e1, 1e3, 1e4}) {
     auto scaled = tsi_model.with_topology(topo.scaled_rates(c));
     const auto r = core::fair_steady_state(scaled);
@@ -70,14 +73,16 @@ int main() {
       worst = std::max(worst, std::fabs(r[i] / (c * base[i]) - 1.0));
     }
     const bool steady = core::is_steady_state(scaled, r, 1e-7);
-    ok = ok && worst < 1e-9 && steady;
+    worst_scaling_error = std::max(worst_scaling_error, worst);
+    all_steady = all_steady && steady;
     scale_table.add_row({fmt_sci(c, 0), fmt_sci(worst, 2),
                          report::fmt_bool(steady)});
   }
-  scale_table.print(std::cout);
+  scale_table.print(out);
 
   TextTable lat_table({"latency scale", "max |r - r_base|"});
   lat_table.set_title("\nTSI adjuster: steady state under latency scaling");
+  double worst_latency_shift = 0.0;
   for (double c : {0.0, 1.0, 10.0, 1000.0}) {
     auto stretched = tsi_model.with_topology(topo.scaled_latencies(c));
     const auto r = core::fair_steady_state(stretched);
@@ -85,10 +90,10 @@ int main() {
     for (std::size_t i = 0; i < r.size(); ++i) {
       worst = std::max(worst, std::fabs(r[i] - base[i]));
     }
-    ok = ok && worst < 1e-9;
+    worst_latency_shift = std::max(worst_latency_shift, worst);
     lat_table.add_row({fmt(c, 1), fmt_sci(worst, 2)});
   }
-  lat_table.print(std::cout);
+  lat_table.print(out);
 
   // ---- (b) non-TSI adjusters on a single gateway. ------------------------
   const auto single = network::single_bottleneck(1, 1.0, 0.1);
@@ -96,6 +101,8 @@ int main() {
                      "ratio (100 if TSI)"});
   non_tsi.set_title("\nNon-TSI adjusters: steady state does NOT scale");
 
+  double min_ratio_deviation = 1e300;
+  bool limd_converged = true;
   for (int which = 0; which < 2; ++which) {
     std::shared_ptr<const core::RateAdjustment> adj;
     if (which == 0) {
@@ -110,12 +117,13 @@ int main() {
     auto fast_model = model.with_topology(single.scaled_rates(100.0));
     const auto fast = core::solve_fixed_point(fast_model, {0.1}, damped());
     const double ratio = fast.rates[0] / slow.rates[0];
-    ok = ok && slow.converged && fast.converged &&
-         std::fabs(ratio - 100.0) > 10.0;
+    limd_converged = limd_converged && slow.converged && fast.converged;
+    min_ratio_deviation =
+        std::min(min_ratio_deviation, std::fabs(ratio - 100.0));
     non_tsi.add_row({std::string(adj->name()), fmt(slow.rates[0], 5),
                      fmt(fast.rates[0], 5), fmt(ratio, 2)});
   }
-  non_tsi.print(std::cout);
+  non_tsi.print(out);
 
   // Window LIMD latency sensitivity.
   FlowControlModel window_model(single, std::make_shared<queueing::Fifo>(),
@@ -135,9 +143,38 @@ int main() {
     last_rate = r.rates[0];
     lat_sens.add_row({fmt(0.1 * latency_scale, 1), fmt(r.rates[0], 5)});
   }
-  ok = ok && decreasing;
-  lat_sens.print(std::cout);
+  lat_sens.print(out);
 
-  std::cout << "\nTheorem 1 reproduced: " << (ok ? "YES" : "NO") << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  ctx.claims.check_at_most(
+      {"E1", "rate_scaling_error"},
+      "TSI steady-state rates scale linearly with server speed over six "
+      "orders of magnitude (Theorem 1, forward direction)",
+      worst_scaling_error, 1e-9);
+  ctx.claims.check_true(
+      {"E1", "scaled_steady_states"},
+      "Every rescaled fair allocation is a steady state of the rescaled "
+      "network",
+      all_steady);
+  ctx.claims.check_at_most(
+      {"E1", "latency_invariance"},
+      "TSI steady state is untouched by latency scaling",
+      worst_latency_shift, 1e-9);
+  ctx.claims.check_true(
+      {"E1", "limd_fixed_points_converge"},
+      "Both LIMD fixed-point solves converge at mu = 1 and mu = 100",
+      limd_converged);
+  ctx.claims.check_at_least(
+      {"E1", "limd_breaks_scaling"},
+      "Neither LIMD adjuster scales: the mu-ratio of steady rates misses "
+      "the TSI value 100 by more than 10 (Theorem 1, converse)",
+      min_ratio_deviation, 10.0);
+  ctx.claims.check_true(
+      {"E1", "window_limd_latency_sensitive"},
+      "Window LIMD steady-state rate strictly decreases as latency grows",
+      decreasing);
+
+  out << "\nTheorem 1 reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

@@ -8,17 +8,19 @@
 //   (2) The water-filling construction from the proof produces the unique
 //       fair steady state, verified on a parking-lot network.
 //
-// Exit code 0 iff the manifold is reached from every start, random starts
-// are (almost) never fair, and the construction is fair + steady.
+// Claims (exit code 0 iff all pass): the manifold is reached from every
+// start, random starts are (almost) never fair, and the construction is
+// fair + steady.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 #include <numeric>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "stats/rng.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -31,9 +33,9 @@ using report::TextTable;
 
 }  // namespace
 
-int main() {
-  std::cout << "== E2: Theorem 2 -- aggregate feedback fairness ==\n\n";
-  bool ok = true;
+void run_e2(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E2: Theorem 2 -- aggregate feedback fairness ==\n\n";
 
   // ---- (1) manifold of steady states at a single gateway -----------------
   const std::size_t n = 8;
@@ -50,16 +52,18 @@ int main() {
   runs.set_title("Aggregate feedback, single gateway, N = 8, rho_ss = 0.5:\n"
                  "20 random initial conditions -> 20 different steady states");
   int fair_count = 0;
+  bool all_steady = true;
+  double worst_total_error = 0.0;
   for (int run = 0; run < 20; ++run) {
     std::vector<double> r0(n);
     for (double& x : r0) x = rng.uniform(0.0, 0.12);
     const auto result = core::solve_fixed_point(model, r0);
     const bool steady = result.converged &&
                         core::is_steady_state(model, result.rates, 1e-6);
-    ok = ok && steady;
+    all_steady = all_steady && steady;
     const double total = std::accumulate(result.rates.begin(),
                                          result.rates.end(), 0.0);
-    ok = ok && std::fabs(total - beta) < 1e-5;
+    worst_total_error = std::max(worst_total_error, std::fabs(total - beta));
     const auto fairness = core::check_fairness(model, result.rates, 1e-3);
     fair_count += fairness.fair;
     double lo = result.rates[0], hi = result.rates[0];
@@ -70,11 +74,10 @@ int main() {
     runs.add_row({std::to_string(run), fmt(total, 6), fmt(lo, 4), fmt(hi, 4),
                   fmt(fairness.jain_index, 4), fmt_bool(fairness.fair)});
   }
-  runs.print(std::cout);
-  std::cout << "\nfair outcomes from random starts: " << fair_count
-            << " / 20  (Theorem 2(1): aggregate feedback cannot GUARANTEE "
-               "fairness)\n";
-  ok = ok && fair_count <= 2;
+  runs.print(out);
+  out << "\nfair outcomes from random starts: " << fair_count
+      << " / 20  (Theorem 2(1): aggregate feedback cannot GUARANTEE "
+         "fairness)\n";
 
   // ---- (2) the unique fair steady state exists (potential fairness) -----
   const auto lot = network::parking_lot(3, 2, 1.0);
@@ -93,13 +96,38 @@ int main() {
     lot_table.add_row({std::to_string(i),
                        std::to_string(lot.path(i).size()), fmt(fair[i], 4)});
   }
-  lot_table.print(std::cout);
-  std::cout << "\nconstruction is a steady state: "
-            << fmt_bool(fair_is_steady)
-            << ", and fair: " << fmt_bool(fair_report.fair)
-            << "  (Theorem 2(2): aggregate feedback is potentially fair)\n";
-  ok = ok && fair_is_steady && fair_report.fair;
+  lot_table.print(out);
+  out << "\nconstruction is a steady state: " << fmt_bool(fair_is_steady)
+      << ", and fair: " << fmt_bool(fair_report.fair)
+      << "  (Theorem 2(2): aggregate feedback is potentially fair)\n";
 
-  std::cout << "\nTheorem 2 reproduced: " << (ok ? "YES" : "NO") << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  ctx.claims.check_true(
+      {"E2", "all_starts_reach_steady_state"},
+      "Every random start converges to a steady state of the aggregate "
+      "system",
+      all_steady);
+  ctx.claims.check_at_most(
+      {"E2", "manifold_total_error"},
+      "Every steady state lands on the manifold sum(r) = rho_ss * mu",
+      worst_total_error, 1e-5);
+  ctx.claims.check_at_most(
+      {"E2", "unfair_from_random_starts"},
+      "At most 2 of 20 random starts happen to land on the fair point "
+      "(Theorem 2(1): fairness is not guaranteed)",
+      static_cast<double>(fair_count), 2.0);
+  ctx.claims.check_true(
+      {"E2", "construction_steady"},
+      "The water-filling construction is a steady state on the parking-lot "
+      "network (Theorem 2(2))",
+      fair_is_steady);
+  ctx.claims.check_true(
+      {"E2", "construction_fair"},
+      "The water-filling construction passes the fairness criterion "
+      "(Theorem 2(2): potential fairness)",
+      fair_report.fair);
+
+  out << "\nTheorem 2 reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

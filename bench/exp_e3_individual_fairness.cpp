@@ -7,15 +7,17 @@
 //       the fairness criterion, and FIFO / Fair Share land on the SAME
 //       steady state (the water-filled max-min allocation).
 //
-// Exit code 0 iff all converged runs are fair and discipline-independent.
+// Claims (exit code 0 iff all pass): all converged runs are fair and
+// discipline-independent.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "stats/rng.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -37,15 +39,17 @@ FlowControlModel make(const network::Topology& topo,
 
 }  // namespace
 
-int main() {
-  std::cout << "== E3: Theorem 3 + Corollary -- individual feedback "
-               "fairness ==\n\n";
-  bool ok = true;
+void run_e3(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E3: Theorem 3 + Corollary -- individual feedback "
+         "fairness ==\n\n";
 
   // ---- (1) single gateway, uneven start ----------------------------------
   const auto single = network::single_bottleneck(4, 1.0);
   TextTable tbl1({"discipline", "r0", "r_ss", "fair?", "Jain"});
   tbl1.set_title("Single gateway, N = 4, start {0.30, 0.10, 0.03, 0.01}:");
+  bool single_fair = true;
+  double worst_split_error = 0.0;
   for (auto disc : {std::shared_ptr<const queueing::ServiceDiscipline>(
                         std::make_shared<queueing::Fifo>()),
                     std::shared_ptr<const queueing::ServiceDiscipline>(
@@ -56,13 +60,15 @@ int main() {
     const auto result =
         core::solve_fixed_point(model, {0.30, 0.10, 0.03, 0.01}, opts);
     const auto fairness = core::check_fairness(model, result.rates, 1e-4);
-    ok = ok && result.converged && fairness.fair;
+    single_fair = single_fair && result.converged && fairness.fair;
     tbl1.add_row({std::string(disc->name()), "0.30/0.10/0.03/0.01",
                   fmt(result.rates[0], 4) + " each",
                   fmt_bool(fairness.fair), fmt(fairness.jain_index, 4)});
-    for (double r : result.rates) ok = ok && std::fabs(r - 0.125) < 1e-4;
+    for (double r : result.rates) {
+      worst_split_error = std::max(worst_split_error, std::fabs(r - 0.125));
+    }
   }
-  tbl1.print(std::cout);
+  tbl1.print(out);
 
   // ---- (2) random networks: fair + discipline-independent ----------------
   stats::Xoshiro256 rng(777);
@@ -71,6 +77,9 @@ int main() {
   tbl2.set_title("\nRandom topologies (damped iteration from random "
                  "starts):");
   int trials_done = 0;
+  bool trials_fair = true;
+  double worst_discipline_gap = 0.0;
+  double worst_waterfill_gap = 0.0;
   for (int trial = 0; trial < 8; ++trial) {
     network::RandomTopologyParams params;
     params.num_gateways = 2 + rng.uniform_index(3);
@@ -105,18 +114,47 @@ int main() {
                         std::fabs(fifo_result.rates[i] - waterfill[i]));
     }
     const bool matches = wf_gap < 1e-4;
-    ok = ok && fifo_fair && fs_fair && gap < 1e-4 && matches;
+    trials_fair = trials_fair && fifo_fair && fs_fair;
+    worst_discipline_gap = std::max(worst_discipline_gap, gap);
+    worst_waterfill_gap = std::max(worst_waterfill_gap, wf_gap);
     tbl2.add_row({std::to_string(trial),
                   std::to_string(topo.num_gateways()),
                   std::to_string(topo.num_connections()),
                   fmt_bool(fifo_fair), fmt_bool(fs_fair),
                   report::fmt_sci(gap, 1), fmt_bool(matches)});
   }
-  tbl2.print(std::cout);
-  std::cout << "\nconverged trials: " << trials_done << " / 8\n";
-  ok = ok && trials_done >= 4;
+  tbl2.print(out);
+  out << "\nconverged trials: " << trials_done << " / 8\n";
 
-  std::cout << "\nTheorem 3 + Corollary reproduced: " << (ok ? "YES" : "NO")
-            << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  ctx.claims.check_true(
+      {"E3", "single_gateway_fair"},
+      "From a wildly uneven start, both disciplines converge to a fair "
+      "allocation (Theorem 3)",
+      single_fair);
+  ctx.claims.check_at_most(
+      {"E3", "single_gateway_even_split"},
+      "The single-gateway steady state is the even split beta*mu/N = 0.125",
+      worst_split_error, 1e-4);
+  ctx.claims.check_true(
+      {"E3", "random_networks_fair"},
+      "Every converged random-network steady state passes the fairness "
+      "criterion under both disciplines (Theorem 3)",
+      trials_fair);
+  ctx.claims.check_at_most(
+      {"E3", "discipline_independent"},
+      "FIFO and Fair Share land on the same steady state (Corollary)",
+      worst_discipline_gap, 1e-4);
+  ctx.claims.check_at_most(
+      {"E3", "matches_waterfill"},
+      "The converged steady state is the water-filled max-min allocation",
+      worst_waterfill_gap, 1e-4);
+  ctx.claims.check_at_least(
+      {"E3", "converged_trials"},
+      "At least 4 of the 8 random trials converge (sample-size floor)",
+      static_cast<double>(trials_done), 4.0);
+
+  out << "\nTheorem 3 + Corollary reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

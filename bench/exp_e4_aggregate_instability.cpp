@@ -12,14 +12,16 @@
 // predicted leading eigenvalue with the numerically computed spectrum and
 // with the observed dynamics from a slightly perturbed fair point.
 //
-// Exit code 0 iff prediction, spectrum, and dynamics agree at every N.
+// Claims (exit code 0 iff all pass): prediction, spectrum, and dynamics
+// agree at every N.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -33,18 +35,22 @@ using report::TextTable;
 
 }  // namespace
 
-int main() {
-  std::cout << "== E4: aggregate-feedback instability (unilateral != "
-               "systemic) ==\n\n";
+void run_e4(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E4: aggregate-feedback instability (unilateral != "
+         "systemic) ==\n\n";
   const double eta = 0.5;
   const double beta = 0.5;
-  bool ok = true;
 
   TextTable table({"N", "DF_ii", "predicted 1-eta*N", "computed lead eig",
                    "unilateral?", "systemic?", "dynamics"});
   table.set_title("B(C)=C/(1+C), f = eta(beta - b), eta = 0.5, mu = 1\n"
                   "systemic stability threshold N* = 2/eta = 4");
 
+  double worst_spectrum_error = 0.0;
+  bool all_unilateral = true;
+  bool dynamics_agree = true;
+  bool reduced_agrees = true;
   // N = 4 sits exactly on the threshold (eigenvalue -1, marginal) and is
   // omitted; linear analysis cannot classify it.
   for (std::size_t n : {2u, 3u, 5u, 6u, 8u, 12u, 16u}) {
@@ -60,8 +66,10 @@ int main() {
     // The computed leading eigenvalue should be max(|1 - eta N|, 1) -- the
     // manifold contributes N-1 eigenvalues at exactly 1.
     const double expected_radius = std::max(std::fabs(predicted), 1.0);
-    ok = ok && std::fabs(report.spectral_radius - expected_radius) < 1e-4;
-    ok = ok && report.unilaterally_stable;
+    worst_spectrum_error =
+        std::max(worst_spectrum_error,
+                 std::fabs(report.spectral_radius - expected_radius));
+    all_unilateral = all_unilateral && report.unilaterally_stable;
 
     // Observe the actual dynamics from a perturbed fair point. Perturbations
     // ALONG the manifold persist (eigenvalue 1), so we look only at whether
@@ -71,8 +79,9 @@ int main() {
     const auto orbit = core::run_dynamics(model, r0);
     const bool transverse_stable = std::fabs(predicted) < 1.0;
     const bool settled = orbit.kind == OrbitKind::Converged;
-    ok = ok && (settled == transverse_stable);
-    ok = ok && (report.stable_modulo_manifold == transverse_stable);
+    dynamics_agree = dynamics_agree && (settled == transverse_stable);
+    reduced_agrees =
+        reduced_agrees && (report.stable_modulo_manifold == transverse_stable);
 
     table.add_row(
         {std::to_string(n), fmt(report.diagonal[0], 3), fmt(predicted, 3),
@@ -83,15 +92,36 @@ int main() {
          settled ? "settles" : (orbit.period == 2 ? "period-2 oscillation"
                                                   : "does not settle")});
   }
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout
-      << "\nReading: every row is unilaterally stable (|DF_ii| = |1-eta| = "
+  out << "\nReading: every row is unilaterally stable (|DF_ii| = |1-eta| = "
          "0.5 < 1),\nbut past N = 4 the leading eigenvalue 1 - eta*N leaves "
          "the unit circle and\nthe synchronous dynamics oscillate instead of "
          "settling -- the paper's\ncounterexample to 'unilateral implies "
          "systemic' for aggregate feedback.\n";
 
-  std::cout << "\nE4 reproduced: " << (ok ? "YES" : "NO") << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  ctx.claims.check_at_most(
+      {"E4", "spectral_radius_error"},
+      "Computed leading eigenvalue matches the prediction max(|1 - eta N|, 1) "
+      "at every N",
+      worst_spectrum_error, 1e-4);
+  ctx.claims.check_true(
+      {"E4", "unilaterally_stable_at_every_n"},
+      "Every N is unilaterally stable (|1 - eta| = 0.5 < 1)",
+      all_unilateral);
+  ctx.claims.check_true(
+      {"E4", "dynamics_match_prediction"},
+      "The perturbed dynamics settle exactly when |1 - eta N| < 1 -- past "
+      "N* = 4 they oscillate (the counterexample)",
+      dynamics_agree);
+  ctx.claims.check_true(
+      {"E4", "reduced_analysis_matches"},
+      "stable_modulo_manifold agrees with the transverse prediction at "
+      "every N",
+      reduced_agrees);
+
+  out << "\nE4 reproduced: " << (ctx.claims.all_passed() ? "YES" : "NO")
+      << "\n";
 }
+
+}  // namespace ffc::repro

@@ -13,12 +13,12 @@
 // come back in grid order, so stdout and any FFC_CSV dump are byte-identical
 // at every --jobs value (sweep timing goes to stderr).
 //
-// Exit code 0 iff the scan shows, in order: fixed point -> period 2 ->
-// period 4 -> chaos (some eta with positive Lyapunov exponent).
+// Claims (exit code 0 iff all pass): the scan shows, in order: fixed point
+// -> period 2 -> period 4 -> chaos (some eta with positive Lyapunov
+// exponent).
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,12 +26,13 @@
 #include "core/onedmap.hpp"
 #include "core/rate_adjustment.hpp"
 #include "core/signal.hpp"
-#include "exec/cli.hpp"
 #include "exec/param_grid.hpp"
-#include "exec/sweep_runner.hpp"
 #include "report/ascii_plot.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -41,7 +42,7 @@ using core::ScalarOrbitKind;
 using report::fmt;
 using report::TextTable;
 
-const char* kind_name(ScalarOrbitKind kind, std::size_t period) {
+const char* orbit_kind_name(ScalarOrbitKind kind, std::size_t period) {
   switch (kind) {
     case ScalarOrbitKind::Converged:
       return "fixed point";
@@ -58,14 +59,12 @@ const char* kind_name(ScalarOrbitKind kind, std::size_t period) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto cli = ffc::exec::parse_sweep_cli(argc, argv);
-  if (cli.help) return EXIT_SUCCESS;
-  if (cli.error) return EXIT_FAILURE;
-  std::cout << "== E5: route to chaos of symmetric aggregate feedback ==\n"
-            << "B(C) = (C/(1+C))^2, f = eta(beta - b), beta = 0.5, N = 8, "
-               "mu = 1\n"
-            << "reduced map: r_tot' = r_tot + eta*N*(beta - rho_tot^2)\n\n";
+void run_e5(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E5: route to chaos of symmetric aggregate feedback ==\n"
+      << "B(C) = (C/(1+C))^2, f = eta(beta - b), beta = 0.5, N = 8, "
+         "mu = 1\n"
+      << "reduced map: r_tot' = r_tot + eta*N*(beta - rho_tot^2)\n\n";
   const std::size_t n = 8;
   const double beta = 0.5;
   auto family = [&](double eta) {
@@ -83,7 +82,7 @@ int main(int argc, char** argv) {
   bool order_ok = true;
   exec::ParamGrid grid;
   grid.axis("eta", exec::ParamGrid::arange(0.05, 0.2605, 0.0025));
-  exec::SweepRunner runner(cli.options);
+  exec::SweepRunner runner(ctx.sweep);
   // The map iteration is deterministic (no RNG draws), so the per-task seed
   // is unused here -- parallelism alone motivates the sweep. Each task
   // records what it classified into its private MetricRegistry; the merged
@@ -103,15 +102,18 @@ int main(int argc, char** argv) {
         metrics.set_gauge("e5.lyapunov", point.lyapunov);  // per-task reading
         return point;
       });
-  runner.last_report().print(std::cerr);
-  if (!cli.metrics_out.empty() &&
-      !exec::write_manifest(runner.last_manifest(), cli.metrics_out)) {
-    return EXIT_FAILURE;
+  runner.last_report().print(ctx.err);
+  if (!ctx.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), ctx.metrics_out)) {
+    ctx.io_error = true;
+    return;
   }
+  double peak_lyapunov = -1e300;
   for (const auto& p : points) {
     const auto& orbit = p.orbit;
     const bool chaotic =
         orbit.kind == ScalarOrbitKind::Irregular && p.lyapunov > 0.01;
+    peak_lyapunov = std::max(peak_lyapunov, p.lyapunov);
     if (orbit.kind == ScalarOrbitKind::Converged) {
       seen_fixed = true;
       if (seen_p2 || seen_chaos) order_ok = false;
@@ -129,22 +131,23 @@ int main(int argc, char** argv) {
         static_cast<long>(std::round(scaled)) % 4 == 0) {
       table.add_row({fmt(p.parameter, 3),
                      fmt(p.parameter * static_cast<double>(n), 2),
-                     chaotic ? "CHAOS" : kind_name(orbit.kind, orbit.period),
+                     chaotic ? "CHAOS"
+                             : orbit_kind_name(orbit.kind, orbit.period),
                      orbit.period ? std::to_string(orbit.period) : "-",
                      fmt(p.lyapunov, 3),
                      "[" + fmt(orbit.min * n, 3) + ", " +
                          fmt(orbit.max * n, 3) + "]"});
     }
   }
-  table.print(std::cout);
+  table.print(out);
 
   // ---- optional machine-readable dump --------------------------------------
   // FFC_CSV=<path> writes (eta, lyapunov, sample...) rows for external
   // plotting.
   if (const char* csv_path = std::getenv("FFC_CSV")) {
-    std::ofstream out(csv_path);
-    if (out) {
-      report::CsvWriter csv(out);
+    std::ofstream csv_out(csv_path);
+    if (csv_out) {
+      report::CsvWriter csv(csv_out);
       csv.write_row(std::vector<std::string>{"eta", "lyapunov", "r_tot"});
       for (const auto& p : points) {
         for (double s : p.orbit.samples) {
@@ -152,8 +155,8 @@ int main(int argc, char** argv) {
               p.parameter, p.lyapunov, s * static_cast<double>(n)});
         }
       }
-      std::cout << "\n[wrote " << csv.rows_written() << " CSV rows to "
-                << csv_path << "]\n";
+      out << "\n[wrote " << csv.rows_written() << " CSV rows to "
+          << csv_path << "]\n";
     }
   }
 
@@ -170,7 +173,7 @@ int main(int argc, char** argv) {
                      p.orbit.samples[s] * static_cast<double>(n), '.');
     }
   }
-  plot.print(std::cout);
+  plot.print(out);
 
   // ---- Lyapunov exponent curve -------------------------------------------
   report::AsciiPlot lyap(100, 16);
@@ -186,14 +189,43 @@ int main(int argc, char** argv) {
   for (double eta = 0.05; eta < 0.26; eta += 0.002) {
     lyap.add_point(eta, 0.0, '-');
   }
-  lyap.print(std::cout);
+  lyap.print(out);
 
-  const bool ok =
-      seen_fixed && seen_p2 && seen_p4 && seen_chaos && order_ok;
-  std::cout << "\nobserved: fixed=" << seen_fixed << " period2=" << seen_p2
-            << " period4=" << seen_p4 << " chaos=" << seen_chaos
-            << " in-order=" << order_ok << "\n";
-  std::cout << "\nE5 (stable -> oscillatory -> chaotic) reproduced: "
-            << (ok ? "YES" : "NO") << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  ctx.claims.check_true(
+      {"E5", "fixed_point_regime"},
+      "Small eta*N produces a stable fixed point",
+      seen_fixed);
+  ctx.claims.check_true(
+      {"E5", "period2_regime"},
+      "The first period-doubling (period-2 orbit) appears as eta grows",
+      seen_p2);
+  ctx.claims.check_true(
+      {"E5", "period4_regime"},
+      "The second doubling (period-4 orbit) appears in the cascade",
+      seen_p4);
+  ctx.claims.check_true(
+      {"E5", "chaos_regime"},
+      "Some eta produces an irregular orbit with positive Lyapunov exponent "
+      "(chaos)",
+      seen_chaos);
+  ctx.claims.check_true(
+      {"E5", "transition_order"},
+      "The regimes appear in Collet-Eckmann order: fixed point -> period 2 "
+      "-> chaos",
+      order_ok);
+  ctx.claims
+      .check_at_least(
+          {"E5", "peak_lyapunov"},
+          "The largest Lyapunov exponent over the scan clears the chaos "
+          "threshold 0.01",
+          peak_lyapunov, 0.01)
+      .annotate_metrics(runner.last_manifest().merged, "e5.");
+
+  out << "\nobserved: fixed=" << seen_fixed << " period2=" << seen_p2
+      << " period4=" << seen_p4 << " chaos=" << seen_chaos
+      << " in-order=" << order_ok << "\n";
+  out << "\nE5 (stable -> oscillatory -> chaotic) reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

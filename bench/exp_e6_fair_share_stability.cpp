@@ -9,15 +9,17 @@
 //   (2) Sweep: random networks x random eta; whenever the FS system is
 //       unilaterally stable it must be systemically stable.
 //
-// Exit code 0 iff the structural checks and the sweep both hold.
+// Claims (exit code 0 iff all pass): the structural checks and the sweep
+// both hold.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "stats/rng.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -39,10 +41,10 @@ FlowControlModel make(const network::Topology& topo,
 
 }  // namespace
 
-int main() {
-  std::cout << "== E6: Theorem 4 -- Fair Share makes unilateral stability "
-               "systemic ==\n\n";
-  bool ok = true;
+void run_e6(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E6: Theorem 4 -- Fair Share makes unilateral stability "
+         "systemic ==\n\n";
 
   // ---- (1) structure -------------------------------------------------------
   const auto single = network::single_bottleneck(4, 1.0);
@@ -51,6 +53,9 @@ int main() {
                        "spectral radius", "max |diag|", "eigs = diag?"});
   structure.set_title(
       "Individual feedback, 4 connections with distinct rates");
+  bool fs_triangular = false;
+  bool fifo_triangular = true;
+  double fs_eig_diag_gap = 1e300;
   for (auto disc : {std::shared_ptr<const queueing::ServiceDiscipline>(
                         std::make_shared<queueing::FairShare>()),
                     std::shared_ptr<const queueing::ServiceDiscipline>(
@@ -66,12 +71,17 @@ int main() {
     const bool eig_is_diag =
         std::fabs(report.spectral_radius - max_diag) < 1e-4;
     const bool is_fs = disc->name() == std::string_view("FairShare");
-    ok = ok && (triangular == is_fs) && (!is_fs || eig_is_diag);
+    if (is_fs) {
+      fs_triangular = triangular;
+      fs_eig_diag_gap = std::fabs(report.spectral_radius - max_diag);
+    } else {
+      fifo_triangular = triangular;
+    }
     structure.add_row({std::string(disc->name()), fmt_bool(triangular),
                        fmt(report.spectral_radius, 4), fmt(max_diag, 4),
                        fmt_bool(eig_is_diag)});
   }
-  structure.print(std::cout);
+  structure.print(out);
 
   // ---- (2) sweep ------------------------------------------------------------
   stats::Xoshiro256 rng(4040);
@@ -110,7 +120,7 @@ int main() {
     // says nothing about Theorem 4 -- so perturb by only 0.5%.
     bool returns = true;
     stats::Xoshiro256 perturb_rng(static_cast<std::uint64_t>(trial) + 1);
-    for (int probe = 0; probe < 3 && returns; ++probe) {
+    for (int probe_i = 0; probe_i < 3 && returns; ++probe_i) {
       std::vector<double> r0 = ss.rates;
       for (double& x : r0) {
         x = std::max(0.0, x * (1.0 + perturb_rng.uniform(-0.005, 0.005)));
@@ -123,18 +133,43 @@ int main() {
     }
     const bool implication_holds = !uni.stable || returns;
     implications += implication_holds;
-    ok = ok && implication_holds;
     sweep.add_row({std::to_string(trial), topo.summary(), fmt(eta, 2),
                    fmt_bool(uni.stable), fmt_bool(returns),
                    fmt_bool(implication_holds)});
   }
-  sweep.print(std::cout);
-  std::cout << "\nimplication (unilateral => systemic) held in " << implications
-            << " / " << analyzed << " analyzed steady states\n";
-  ok = ok && analyzed >= 6;
+  sweep.print(out);
+  out << "\nimplication (unilateral => systemic) held in " << implications
+      << " / " << analyzed << " analyzed steady states\n";
 
-  std::cout << "\nFor contrast, aggregate feedback violates the implication "
-               "-- run exp_e4_aggregate_instability.\n";
-  std::cout << "\nTheorem 4 reproduced: " << (ok ? "YES" : "NO") << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  ctx.claims.check_true(
+      {"E6", "fair_share_triangular"},
+      "Under Fair Share, DF is triangular in the sort-by-rate order "
+      "(Theorem 4's structural core)",
+      fs_triangular);
+  ctx.claims.check_true(
+      {"E6", "fifo_not_triangular"},
+      "FIFO destroys the triangularity of DF",
+      !fifo_triangular);
+  ctx.claims.check_at_most(
+      {"E6", "fair_share_eigs_equal_diag"},
+      "Fair Share's spectral radius equals its largest diagonal entry "
+      "(eigenvalues are the diagonal)",
+      fs_eig_diag_gap, 1e-4);
+  ctx.claims.check_true(
+      {"E6", "implication_holds"},
+      "Unilateral stability implied systemic stability at every analyzed "
+      "Fair Share steady state (Theorem 4)",
+      implications == analyzed);
+  ctx.claims.check_at_least(
+      {"E6", "analyzed_floor"},
+      "At least 6 of 14 random steady states converged and were analyzed "
+      "(sample-size floor)",
+      static_cast<double>(analyzed), 6.0);
+
+  out << "\nFor contrast, aggregate feedback violates the implication "
+         "-- run exp_e4_aggregate_instability.\n";
+  out << "\nTheorem 4 reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

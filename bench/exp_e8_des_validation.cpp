@@ -15,21 +15,21 @@
 // come back in workload order -- stdout is byte-identical at any --jobs
 // (sweep timing goes to stderr).
 //
-// Exit code 0 iff simulation matches analytics within the stated bands.
+// Claims (exit code 0 iff all pass): simulation matches analytics within
+// the stated bands.
 #include <cmath>
 #include <cstdint>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 #include <vector>
 
 #include "core/ffc.hpp"
-#include "exec/cli.hpp"
 #include "exec/param_grid.hpp"
-#include "exec/sweep_runner.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "sim/feedback_sim.hpp"
 #include "sim/network_sim.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -56,12 +56,9 @@ constexpr std::size_t kClosedLoopEpochs = 30;
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto cli = exec::parse_sweep_cli(argc, argv, /*default_seed=*/2025);
-  if (cli.help) return EXIT_SUCCESS;
-  if (cli.error) return EXIT_FAILURE;
-  std::cout << "== E8: discrete-event validation of the analytic model ==\n";
-  bool ok = true;
+void run_e8(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E8: discrete-event validation of the analytic model ==\n";
 
   const std::vector<double> open_rates{0.1, 0.25, 0.4};
   const std::vector<double> overload_rates{0.1, 0.55, 0.55};  // total > mu
@@ -76,7 +73,7 @@ int main(int argc, char** argv) {
   exec::ParamGrid grid;
   grid.axis("workload", exec::ParamGrid::linspace(0.0, kNumWorkloads - 1,
                                                   kNumWorkloads));
-  exec::SweepRunner runner(cli.options);
+  exec::SweepRunner runner(ctx.sweep);
   const auto measurements = runner.run(
       grid,
       [&](const exec::GridPoint& p, std::uint64_t seed,
@@ -137,21 +134,22 @@ int main(int argc, char** argv) {
             metrics.add("loop.epochs", records.size());
             loop.network().collect_metrics(metrics);
             // Flatten: per-epoch (r_0, r_2) pairs, then the final rates.
-            std::vector<double> out;
+            std::vector<double> flat;
             for (const auto& record : records) {
-              out.push_back(record.rates[0]);
-              out.push_back(record.rates[2]);
+              flat.push_back(record.rates[0]);
+              flat.push_back(record.rates[2]);
             }
-            for (double r : loop.rates()) out.push_back(r);
-            return out;
+            for (double r : loop.rates()) flat.push_back(r);
+            return flat;
           }
         }
         return {};
       });
-  runner.last_report().print(std::cerr);
-  if (!cli.metrics_out.empty() &&
-      !exec::write_manifest(runner.last_manifest(), cli.metrics_out)) {
-    return EXIT_FAILURE;
+  runner.last_report().print(ctx.err);
+  if (!ctx.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), ctx.metrics_out)) {
+    ctx.io_error = true;
+    return;
   }
 
   // ---- (1) open-loop queue validation ------------------------------------
@@ -159,6 +157,7 @@ int main(int argc, char** argv) {
     TextTable table({"discipline", "connection", "rate", "analytic Q_i",
                      "simulated Q_i", "match?"});
     table.set_title("\nSingle gateway (mu = 1), open loop, T = 80000");
+    bool all_match = true;
     for (auto workload : {kOpenFifo, kOpenFairShare}) {
       std::shared_ptr<const queueing::ServiceDiscipline> analytic;
       if (workload == kOpenFifo) {
@@ -171,13 +170,18 @@ int main(int argc, char** argv) {
         const double measured = measurements[workload][i];
         const bool match = within(measured, expected[i],
                                   0.05 + 0.15 * expected[i]);
-        ok = ok && match;
+        all_match = all_match && match;
         table.add_row({std::string(analytic->name()), std::to_string(i),
                        fmt(open_rates[i], 2), fmt(expected[i], 4),
                        fmt(measured, 4), fmt_bool(match)});
       }
     }
-    table.print(std::cout);
+    table.print(out);
+    ctx.claims.check_true(
+        {"E8", "open_loop_queues_match"},
+        "Simulated per-connection occupancy matches the analytic Q_i(r) for "
+        "FIFO and Fair Share within the 0.05 + 15% band",
+        all_match);
   }
 
   // ---- (1b) overload protection -------------------------------------------
@@ -186,12 +190,16 @@ int main(int argc, char** argv) {
     const double expected = fs.queue_lengths(overload_rates, 1.0)[0];
     const double measured = measurements[kOverload][0];
     const bool match = within(measured, expected, 0.05);
-    ok = ok && match;
-    std::cout << "\nOverloaded gateway (load 1.2): small sender's Q under "
-                 "Fair Share\n  analytic "
-              << fmt(expected, 4) << " vs simulated " << fmt(measured, 4)
-              << "  -> " << (match ? "protected, matches" : "MISMATCH")
-              << "\n";
+    ctx.claims.check_close(
+        {"E8", "overload_protection"},
+        "At an overloaded gateway (load 1.2) Fair Share keeps the small "
+        "sender's simulated queue at the analytic prediction",
+        measured, expected, 0.05);
+    out << "\nOverloaded gateway (load 1.2): small sender's Q under "
+           "Fair Share\n  analytic "
+        << fmt(expected, 4) << " vs simulated " << fmt(measured, 4)
+        << "  -> " << (match ? "protected, matches" : "MISMATCH")
+        << "\n";
   }
 
   // ---- (2) tandem network --------------------------------------------------
@@ -203,7 +211,16 @@ int main(int argc, char** argv) {
     const double d = measurements[kTandem][1];
     const bool q_ok = within(q2, q2_expected, 0.12);
     const bool d_ok = within(d, d_expected, 0.2);
-    ok = ok && q_ok && d_ok;
+    ctx.claims.check_close(
+        {"E8", "tandem_downstream_queue"},
+        "Downstream queue of the two-hop tandem matches the "
+        "Poisson-through-network (Burke) prediction",
+        q2, q2_expected, 0.12);
+    ctx.claims.check_close(
+        {"E8", "tandem_delay_additive"},
+        "One-way tandem delay matches the sum of per-hop latencies and "
+        "M/M/1 sojourn times",
+        d, d_expected, 0.2);
     TextTable table({"quantity", "analytic", "simulated", "match?"});
     table.set_title("\nTwo-hop tandem, r = 0.4 (Poisson-through-network "
                     "check)");
@@ -211,7 +228,7 @@ int main(int argc, char** argv) {
                    fmt_bool(q_ok)});
     table.add_row({"one-way delay", fmt(d_expected, 4), fmt(d, 4),
                    fmt_bool(d_ok)});
-    table.print(std::cout);
+    table.print(out);
   }
 
   // ---- (3) closed loop ------------------------------------------------------
@@ -238,21 +255,33 @@ int main(int argc, char** argv) {
       }
       r = model.step(r);
     }
-    table.print(std::cout);
+    table.print(out);
     bool converged_fair = true;
     for (std::size_t i = 0; i < n_loop; ++i) {
       const double final_rate = flat[2 * kClosedLoopEpochs + i];
       converged_fair = converged_fair && within(final_rate, 0.5 / 3.0, 0.05);
     }
-    ok = ok && worst_gap < 0.08 && converged_fair;
-    std::cout << "\nworst per-epoch gap between simulated and analytic "
-                 "trajectory: "
-              << fmt(worst_gap, 4)
-              << "\nfinal simulated rates near fair point 0.1667: "
-              << fmt_bool(converged_fair) << "\n";
+    ctx.claims
+        .check_at_most(
+            {"E8", "closed_loop_tracking"},
+            "The epoch-based simulated rate trajectory tracks the "
+            "synchronous analytic iteration (worst per-epoch gap)",
+            worst_gap, 0.08)
+        .annotate_metrics(runner.last_manifest().merged, "loop.");
+    ctx.claims.check_true(
+        {"E8", "closed_loop_reaches_fair_point"},
+        "The simulated closed loop ends within 0.05 of the fair point "
+        "0.1667 on every connection",
+        converged_fair);
+    out << "\nworst per-epoch gap between simulated and analytic "
+           "trajectory: "
+        << fmt(worst_gap, 4)
+        << "\nfinal simulated rates near fair point 0.1667: "
+        << fmt_bool(converged_fair) << "\n";
   }
 
-  std::cout << "\nE8 (model validation) reproduced: " << (ok ? "YES" : "NO")
-            << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  out << "\nE8 (model validation) reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

@@ -13,13 +13,14 @@
 // Exit code 0 iff no counterexample is found (supporting evidence, not a
 // proof -- exactly the status the paper leaves the conjecture in).
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <memory>
 
 #include "core/ffc.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
 #include "stats/rng.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -32,12 +33,12 @@ using report::TextTable;
 
 }  // namespace
 
-int main() {
-  std::cout << "== E9: searching for counterexamples to the §3.3 "
-               "conjecture ==\n"
-            << "f = eta r (beta - b), eta < 2 (guaranteed unilaterally "
-               "stable), B(C) = C/(1+C)\n\n";
-  bool ok = true;
+void run_e9(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E9: searching for counterexamples to the §3.3 "
+         "conjecture ==\n"
+      << "f = eta r (beta - b), eta < 2 (guaranteed unilaterally "
+         "stable), B(C) = C/(1+C)\n\n";
   stats::Xoshiro256 rng(190990);
 
   TextTable table({"trial", "net", "style", "discipline", "eta",
@@ -94,7 +95,6 @@ int main() {
     }
     const bool counterexample = uni.stable && !returns;
     counterexamples += counterexample;
-    ok = ok && !counterexample;
     table.add_row({std::to_string(trial), topo.summary(),
                    style == FeedbackStyle::Aggregate ? "aggregate"
                                                      : "individual",
@@ -102,13 +102,25 @@ int main() {
                    fmt_bool(uni.stable), fmt_bool(returns),
                    fmt_bool(counterexample)});
   }
-  table.print(std::cout);
-  std::cout << "\nanalyzed " << analyzed << " steady states, found "
-            << counterexamples << " counterexamples\n"
-            << "(The conjecture remains open; this is supporting evidence, "
-               "as in the paper.)\n";
+  table.print(out);
+  out << "\nanalyzed " << analyzed << " steady states, found "
+      << counterexamples << " counterexamples\n"
+      << "(The conjecture remains open; this is supporting evidence, "
+         "as in the paper.)\n";
 
-  std::cout << "\nE9 (no counterexample to the conjecture): "
-            << (ok && analyzed >= 10 ? "YES" : "NO") << "\n";
-  return ok && analyzed >= 10 ? EXIT_SUCCESS : EXIT_FAILURE;
+  ctx.claims.check_at_most(
+      {"E9", "no_counterexample"},
+      "No analyzed steady state is unilaterally stable yet systemically "
+      "unstable (the 3.3 conjecture survives the search)",
+      static_cast<double>(counterexamples), 0.0);
+  ctx.claims.check_at_least(
+      {"E9", "analyzed_floor"},
+      "At least 10 of 24 random instances converged to a positive steady "
+      "state and were analyzed (sample-size floor)",
+      static_cast<double>(analyzed), 10.0);
+
+  out << "\nE9 (no counterexample to the conjecture): "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

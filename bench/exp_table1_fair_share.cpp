@@ -3,15 +3,17 @@
 // rates, plus the resulting queue occupancies (which Table 1's construction
 // implies but the paper does not tabulate).
 //
-// Exit code 0 iff the decomposition matches the paper's pattern.
+// Claims (exit code 0 iff all pass): the class totals and the per-cell
+// decomposition both match the paper's pattern to 1e-12.
 #include <cmath>
-#include <cstdlib>
-#include <iostream>
 #include <vector>
 
 #include "queueing/fair_share.hpp"
 #include "queueing/priority.hpp"
 #include "report/table.hpp"
+#include "repro/experiments.hpp"
+
+namespace ffc::repro {
 
 namespace {
 
@@ -21,9 +23,10 @@ using ffc::report::TextTable;
 
 }  // namespace
 
-int main() {
-  std::cout << "== TAB1: The Fair Share service discipline (paper Table 1) "
-               "==\n\n";
+void run_table1(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== TAB1: The Fair Share service discipline (paper Table 1) "
+         "==\n\n";
   // The paper's example uses four abstract rates r1 < r2 < r3 < r4; we give
   // them concrete values that keep the gateway underloaded at mu = 1.
   const std::vector<double> rates{0.05, 0.15, 0.25, 0.35};
@@ -47,21 +50,22 @@ int main() {
     row.push_back(fmt(sum, 2));
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  table.print(out);
 
   TextTable totals({"class", "total rate", "expected (N-j+1)(r_j-r_{j-1})"});
   totals.set_title("\nPriority-class totals");
-  bool ok = true;
+  double worst_total_error = 0.0;
   double prev = 0.0;
   for (std::size_t j = 0; j < rates.size(); ++j) {
     const double expected =
         static_cast<double>(rates.size() - j) * (rates[j] - prev);
     prev = rates[j];
-    ok = ok && std::abs(decomposition.class_totals[j] - expected) < 1e-12;
+    worst_total_error = std::max(
+        worst_total_error, std::abs(decomposition.class_totals[j] - expected));
     totals.add_row({std::string(1, static_cast<char>('A' + j)),
                     fmt(decomposition.class_totals[j], 2), fmt(expected, 2)});
   }
-  totals.print(std::cout);
+  totals.print(out);
 
   // The occupancies Table 1's construction yields via the preemptive
   // priority law.
@@ -74,20 +78,33 @@ int main() {
     queues.add_row({std::to_string(i + 1), fmt(rates[i], 2),
                     fmt(sigma[i], 3), fmt(q[i], 4)});
   }
-  queues.print(std::cout);
+  queues.print(out);
 
   // Verify the paper's structural pattern: connection i contributes
   // r_j - r_{j-1} to class j for j <= i, nothing above.
+  double worst_cell_error = 0.0;
   prev = 0.0;
-  for (std::size_t j = 0; j < rates.size() && ok; ++j) {
+  for (std::size_t j = 0; j < rates.size(); ++j) {
     for (std::size_t i = 0; i < rates.size(); ++i) {
       const double expected = i >= j ? rates[j] - prev : 0.0;
-      if (std::abs(decomposition.share[i][j] - expected) > 1e-12) ok = false;
+      worst_cell_error = std::max(
+          worst_cell_error, std::abs(decomposition.share[i][j] - expected));
     }
     prev = rates[j];
   }
 
-  std::cout << "\nTable 1 pattern reproduced: " << (ok ? "YES" : "NO")
-            << "\n";
-  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+  ctx.claims.check_at_most(
+      {"TAB1", "class_totals"},
+      "Priority-class totals follow (N-j+1)(r_j - r_{j-1}) (Table 1)",
+      worst_total_error, 1e-12);
+  ctx.claims.check_at_most(
+      {"TAB1", "priority_decomposition"},
+      "Connection i contributes r_j - r_{j-1} to every class j <= i and "
+      "nothing above (Table 1's decomposition pattern)",
+      worst_cell_error, 1e-12);
+
+  out << "\nTable 1 pattern reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
 }
+
+}  // namespace ffc::repro

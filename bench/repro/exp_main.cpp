@@ -1,0 +1,14 @@
+// Shared main for every standalone exp_* binary: the experiment id is baked
+// in at compile time (FFC_EXPERIMENT_ID, set per target in
+// bench/CMakeLists.txt) and dispatch goes through the same registry
+// ffc_repro uses, so a binary and the generated REPRODUCTION.md can never
+// run different code for the same experiment.
+#include "repro/experiments.hpp"
+
+#ifndef FFC_EXPERIMENT_ID
+#error "FFC_EXPERIMENT_ID must be defined (see bench/CMakeLists.txt)"
+#endif
+
+int main(int argc, char** argv) {
+  return ffc::repro::experiment_main(FFC_EXPERIMENT_ID, argc, argv);
+}

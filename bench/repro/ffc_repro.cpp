@@ -1,0 +1,158 @@
+// ffc_repro -- the unified reproduction driver.
+//
+// Runs every experiment of EXPERIMENTS.md (TAB1, E1..E13, E13b, E14, E15)
+// through exec::SweepRunner, collects their claim registries, and GENERATES
+// the repo's headline artifacts:
+//
+//   REPRODUCTION.md  per-claim table: paper claim -> measured -> tolerance
+//                    -> PASS/FAIL, plus environment and seed manifest
+//   claims.json      the same data, schema ffc.claims.v1 (docs/CLAIMS.md)
+//
+// Flags:
+//   --jobs N        fan experiments across N threads (0 = hardware); the
+//                   artifacts are byte-identical at every N
+//   --seed S        override the per-experiment sweep seeds: experiment i
+//                   runs with derive_task_seed(S, i). Without --seed each
+//                   experiment keeps its historical default, which is what
+//                   the committed artifacts were generated with.
+//   --output-dir D  where to write the two artifacts (default ".")
+//   --verbose       echo every experiment's stdout (registry order)
+//
+// Exit code 0 iff every claim passed and both artifacts were written.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "exec/cli.hpp"
+#include "report/table.hpp"
+#include "repro/experiments.hpp"
+
+namespace {
+
+using namespace ffc;
+
+void usage(std::ostream& os) {
+  os << "usage: ffc_repro [--jobs N] [--seed S] [--output-dir DIR] "
+        "[--verbose]\n"
+        "Runs the full Shenker '90 reproduction and generates "
+        "REPRODUCTION.md + claims.json.\n";
+}
+
+struct Cli {
+  repro::ReproOptions repro;
+  std::string output_dir = ".";
+  bool help = false;
+  bool error = false;
+};
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  auto take_value = [&](int& i, std::string_view flag,
+                        std::string& out) -> bool {
+    const std::string_view arg = argv[i];
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      out = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      out = argv[++i];
+    } else {
+      std::cerr << "ffc_repro: " << flag << " requires a value\n";
+      cli.error = true;
+      return false;
+    }
+    if (out.empty()) {
+      std::cerr << "ffc_repro: " << flag << " requires a non-empty value\n";
+      cli.error = true;
+      return false;
+    }
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      cli.help = true;
+    } else if (arg == "--verbose") {
+      cli.repro.verbose = true;
+    } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+      if (!take_value(i, "--jobs", value)) return cli;
+      if (!exec::parse_size(value, cli.repro.sweep.jobs)) {
+        std::cerr << "ffc_repro: bad --jobs value '" << value << "'\n";
+        cli.error = true;
+        return cli;
+      }
+    } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
+      if (!take_value(i, "--seed", value)) return cli;
+      if (!exec::parse_u64(value, cli.repro.sweep.base_seed)) {
+        std::cerr << "ffc_repro: bad --seed value '" << value << "'\n";
+        cli.error = true;
+        return cli;
+      }
+      cli.repro.override_seeds = true;
+    } else if (arg == "--output-dir" || arg.rfind("--output-dir=", 0) == 0) {
+      if (!take_value(i, "--output-dir", value)) return cli;
+      cli.output_dir = value;
+    } else {
+      std::cerr << "ffc_repro: unknown argument '" << arg << "'\n";
+      cli.error = true;
+      return cli;
+    }
+  }
+  return cli;
+}
+
+bool write_file(const std::string& path,
+                void (*writer)(const claims::ReproManifest&, std::ostream&),
+                const claims::ReproManifest& manifest) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "ffc_repro: cannot open " << path << " for writing\n";
+    return false;
+  }
+  writer(manifest, out);
+  out.flush();
+  if (!out) {
+    std::cerr << "ffc_repro: write to " << path << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  if (cli.help) {
+    usage(std::cout);
+    return EXIT_SUCCESS;
+  }
+  if (cli.error) return EXIT_FAILURE;
+
+  const auto manifest = repro::run_reproduction(
+      cli.repro, std::cerr, cli.repro.verbose ? &std::cout : nullptr);
+
+  report::TextTable table({"experiment", "claims", "passed", "verdict"});
+  table.set_title("ffc_repro: machine-checked reproduction of Shenker '90");
+  for (const auto& exp : manifest.experiments) {
+    table.add_row({exp.id + " - " + exp.title,
+                   std::to_string(exp.claims.size()),
+                   std::to_string(exp.claims.passed_count()),
+                   exp.claims.all_passed() ? "PASS" : "FAIL"});
+  }
+  table.print(std::cout);
+  std::cout << "\nclaims: " << manifest.passed_claims() << " / "
+            << manifest.total_claims() << " passed across "
+            << manifest.experiments.size() << " experiments -> "
+            << (manifest.all_passed() ? "PASS" : "FAIL") << "\n";
+
+  const std::string md_path = cli.output_dir + "/REPRODUCTION.md";
+  const std::string json_path = cli.output_dir + "/claims.json";
+  if (!write_file(md_path, &claims::write_reproduction_markdown, manifest) ||
+      !write_file(json_path, &claims::write_claims_json, manifest)) {
+    return EXIT_FAILURE;
+  }
+  std::cout << "\nwrote " << md_path << " and " << json_path << "\n";
+
+  return manifest.all_passed() ? EXIT_SUCCESS : EXIT_FAILURE;
+}

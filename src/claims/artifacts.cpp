@@ -1,0 +1,179 @@
+#include "claims/artifacts.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "report/json.hpp"
+#include "report/markdown.hpp"
+
+namespace ffc::claims {
+
+namespace {
+
+// Compact, deterministic value rendering for the markdown tables. JSON
+// keeps full max_digits10 round-trip precision; the tables favor
+// readability (%.6g) since the exact bytes live in claims.json.
+std::string fmt_value(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string verdict(bool passed) { return passed ? "PASS" : "FAIL"; }
+
+}  // namespace
+
+std::size_t ReproManifest::total_claims() const {
+  std::size_t n = 0;
+  for (const auto& exp : experiments) n += exp.claims.size();
+  return n;
+}
+
+std::size_t ReproManifest::passed_claims() const {
+  std::size_t n = 0;
+  for (const auto& exp : experiments) n += exp.claims.passed_count();
+  return n;
+}
+
+std::vector<std::pair<std::string, std::string>> build_environment() {
+  std::vector<std::pair<std::string, std::string>> env;
+#if defined(__clang__)
+  env.emplace_back("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  env.emplace_back("compiler", std::string("gcc ") + __VERSION__);
+#else
+  env.emplace_back("compiler", "unknown");
+#endif
+  env.emplace_back("cpp_standard", std::to_string(__cplusplus));
+#if defined(NDEBUG)
+  env.emplace_back("assertions", "disabled (NDEBUG)");
+#else
+  env.emplace_back("assertions", "enabled");
+#endif
+#if defined(__linux__)
+  env.emplace_back("os", "linux");
+#elif defined(__APPLE__)
+  env.emplace_back("os", "macos");
+#elif defined(_WIN32)
+  env.emplace_back("os", "windows");
+#else
+  env.emplace_back("os", "unknown");
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+  env.emplace_back("arch", "x86_64");
+#elif defined(__aarch64__)
+  env.emplace_back("arch", "aarch64");
+#else
+  env.emplace_back("arch", "unknown");
+#endif
+  return env;
+}
+
+void write_claims_json(const ReproManifest& manifest, std::ostream& os) {
+  report::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", kClaimsSchema);
+  w.kv("generator", "ffc_repro");
+  w.kv("paper", manifest.paper);
+  w.kv("command", manifest.command);
+  w.key("environment").begin_object();
+  for (const auto& [key, value] : manifest.environment) w.kv(key, value);
+  w.end_object();
+  w.key("summary").begin_object();
+  w.kv("experiments", static_cast<std::uint64_t>(manifest.experiments.size()));
+  w.kv("claims", static_cast<std::uint64_t>(manifest.total_claims()));
+  w.kv("passed", static_cast<std::uint64_t>(manifest.passed_claims()));
+  w.kv("failed", static_cast<std::uint64_t>(manifest.failed_claims()));
+  w.kv("all_passed", manifest.all_passed());
+  w.end_object();
+  w.key("experiments").begin_array();
+  for (const auto& exp : manifest.experiments) {
+    w.begin_object();
+    w.kv("id", exp.id);
+    w.kv("title", exp.title);
+    if (exp.seed) {
+      w.kv("seed", static_cast<std::uint64_t>(*exp.seed));
+    } else {
+      w.key("seed").null();
+    }
+    w.key("claims");
+    exp.claims.write_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.close();
+  os << '\n';
+}
+
+void write_reproduction_markdown(const ReproManifest& manifest,
+                                 std::ostream& os) {
+  os << "<!-- GENERATED FILE -- do not edit by hand.\n"
+     << "     Regenerate with: " << manifest.command << "\n"
+     << "     Machine-readable twin: claims.json (schema " << kClaimsSchema
+     << "); see docs/CLAIMS.md. -->\n\n";
+  os << "# Reproduction report\n\n";
+  os << "Paper: " << manifest.paper << "\n\n";
+  os << "Every row below is a machine-checked claim: a named predicate\n"
+     << "comparing a measured value against the paper's prediction under an\n"
+     << "explicit tolerance. Verdict semantics are documented in\n"
+     << "docs/CLAIMS.md; experiment methodology in EXPERIMENTS.md.\n\n";
+
+  os << "## Environment\n\n";
+  {
+    report::MarkdownTable table({"key", "value"});
+    for (const auto& [key, value] : manifest.environment) {
+      table.add_row({key, value});
+    }
+    table.print(os);
+  }
+
+  os << "## Summary\n\n";
+  {
+    report::MarkdownTable table(
+        {"experiments", "claims", "passed", "failed", "verdict"});
+    table.add_row({std::to_string(manifest.experiments.size()),
+                   std::to_string(manifest.total_claims()),
+                   std::to_string(manifest.passed_claims()),
+                   std::to_string(manifest.failed_claims()),
+                   verdict(manifest.all_passed())});
+    table.print(os);
+  }
+
+  for (const auto& exp : manifest.experiments) {
+    os << "## " << exp.id << " — " << exp.title << "\n\n";
+    if (exp.seed) os << "Base seed: " << *exp.seed << "\n\n";
+    report::MarkdownTable table({"claim", "paper claim", "kind", "measured",
+                                 "expected", "tolerance", "verdict"});
+    for (const auto& check : exp.claims.checks()) {
+      std::string id_cell = "`";
+      id_cell += check.id.full();
+      id_cell += '`';
+      table.add_row({std::move(id_cell), check.description,
+                     std::string(kind_name(check.kind)),
+                     fmt_value(check.measured), fmt_value(check.expected),
+                     fmt_value(check.tolerance), verdict(check.passed)});
+    }
+    table.print(os);
+    for (const auto& check : exp.claims.checks()) {
+      if (check.context.empty()) continue;
+      os << "- `" << check.id.full() << "` context:";
+      bool first = true;
+      for (const auto& [key, value] : check.context) {
+        os << (first ? " " : ", ") << key << "=" << value;
+        first = false;
+      }
+      os << "\n";
+    }
+    bool any_context = false;
+    for (const auto& check : exp.claims.checks()) {
+      if (!check.context.empty()) any_context = true;
+    }
+    if (any_context) os << "\n";
+  }
+}
+
+}  // namespace ffc::claims

@@ -1,0 +1,67 @@
+// Generated-artifact writers for the reproduction run.
+//
+// ffc_repro collects one ClaimRegistry per experiment into a ReproManifest
+// and emits two artifacts from it: claims.json (schema ffc.claims.v1, the
+// machine-readable contract) and REPRODUCTION.md (the human-readable
+// per-claim table). Both are pure functions of the manifest -- no
+// timestamps, no host-dependent fields beyond the compiler-derived
+// environment block -- so regenerating from the same build is
+// byte-identical, which is what the check-docs staleness gate relies on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "claims/claims.hpp"
+
+namespace ffc::claims {
+
+/// JSON schema identifier emitted in claims.json.
+inline constexpr std::string_view kClaimsSchema = "ffc.claims.v1";
+
+/// One experiment's slice of the reproduction: its EXPERIMENTS.md code,
+/// a short title, the base seed it ran with (absent for closed-form /
+/// deterministic experiments), and every claim it registered.
+struct ExperimentRecord {
+  std::string id;     ///< e.g. "E13b"
+  std::string title;  ///< one line, e.g. "Fault-impaired fairness"
+  std::optional<std::uint64_t> seed;
+  ClaimRegistry claims;
+};
+
+/// Everything the artifact writers need: provenance, environment, and the
+/// per-experiment claim registries in run order.
+struct ReproManifest {
+  std::string paper;    ///< full citation of the reproduced paper
+  std::string command;  ///< canonical regeneration command
+  /// Ordered key/value pairs (compiler, standard, build type, platform...).
+  std::vector<std::pair<std::string, std::string>> environment;
+  std::vector<ExperimentRecord> experiments;
+
+  std::size_t total_claims() const;
+  std::size_t passed_claims() const;
+  std::size_t failed_claims() const {
+    return total_claims() - passed_claims();
+  }
+  bool all_passed() const { return failed_claims() == 0; }
+};
+
+/// Environment block derived from compiler predefined macros only
+/// (compiler, C++ standard, build type, OS, architecture). Deterministic
+/// across runs of the same binary by construction.
+std::vector<std::pair<std::string, std::string>> build_environment();
+
+/// Writes claims.json (schema ffc.claims.v1) for the manifest.
+void write_claims_json(const ReproManifest& manifest, std::ostream& os);
+
+/// Writes REPRODUCTION.md: generated-file banner, environment and summary
+/// tables, then one claim table per experiment (with context footnotes).
+void write_reproduction_markdown(const ReproManifest& manifest,
+                                 std::ostream& os);
+
+}  // namespace ffc::claims

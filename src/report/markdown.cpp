@@ -1,0 +1,54 @@
+#include "report/markdown.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace ffc::report {
+
+MarkdownTable::MarkdownTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("MarkdownTable: headers must be non-empty");
+  }
+}
+
+void MarkdownTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("MarkdownTable: row has " +
+                                std::to_string(cells.size()) + " cells, want " +
+                                std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string MarkdownTable::escape_cell(const std::string& cell) {
+  std::string out;
+  out.reserve(cell.size());
+  for (char c : cell) {
+    if (c == '|') {
+      out += "\\|";
+    } else if (c == '\n' || c == '\r') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void MarkdownTable::print(std::ostream& os) const {
+  auto emit_row = [&os](const std::vector<std::string>& cells) {
+    os << '|';
+    for (const auto& cell : cells) os << ' ' << escape_cell(cell) << " |";
+    os << '\n';
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t i = 0; i < headers_.size(); ++i) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  os << '\n';
+}
+
+}  // namespace ffc::report

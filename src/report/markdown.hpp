@@ -1,0 +1,45 @@
+// GitHub-flavored markdown table rendering.
+//
+// The claims layer generates REPRODUCTION.md from the ClaimRegistry
+// (docs/CLAIMS.md); its per-claim tables are emitted through this writer so
+// cell escaping and column handling live in one place, mirroring how JSON
+// artifacts go through JsonWriter instead of hand-assembled strings.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ffc::report {
+
+/// A pipe-delimited markdown table: one header row plus data rows.
+///
+/// Cells are pre-formatted strings; '|' and newlines inside a cell are
+/// escaped/flattened so a cell can never break the table structure. Output
+/// is deterministic: cells are emitted exactly as added, with single-space
+/// padding and no width alignment (renderers align; byte-diffable output
+/// matters more than raw-text aesthetics here).
+class MarkdownTable {
+ public:
+  /// Creates a table with the given column headers (must be non-empty).
+  explicit MarkdownTable(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as there are headers
+  /// (std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table to `os`, with a trailing blank line.
+  void print(std::ostream& os) const;
+
+  /// Escapes one cell: '|' -> '\|', newlines -> spaces.
+  static std::string escape_cell(const std::string& cell);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ffc::report

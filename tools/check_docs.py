@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""check-docs: keep the documentation honest.
+
+Two independent gates, both run by the `check-docs` CMake target and the
+`check_docs` ctest entry (see docs/CLAIMS.md):
+
+  1. Link integrity. Every relative markdown link in README.md,
+     EXPERIMENTS.md, REPRODUCTION.md, CHANGES.md, DESIGN.md, ROADMAP.md and
+     docs/*.md must resolve to an existing file (anchors are split off; a
+     link `docs/CLAIMS.md#tolerances` checks that docs/CLAIMS.md exists).
+     External (http/https/mailto) and pure in-page (#...) links are skipped,
+     as are links inside fenced code blocks.
+
+  2. Staleness of the generated reproduction report. With --repro-binary
+     given, the committed REPRODUCTION.md and claims.json at the repo root
+     must be byte-identical to a fresh regeneration by that binary. Both
+     artifacts are pure functions of the build (no timestamps), so any diff
+     means someone edited a generated file by hand or forgot to regenerate
+     after changing an experiment.
+
+Exit code 0 iff every gate passes. No dependencies beyond the standard
+library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+# [text](target) -- target captured up to the first unescaped ')'. Good
+# enough for the plain links these docs use (no nested parentheses).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+ROOT_DOCS = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "REPRODUCTION.md",
+    "CHANGES.md",
+    "DESIGN.md",
+    "ROADMAP.md",
+]
+
+
+def doc_files(repo_root: pathlib.Path) -> list[pathlib.Path]:
+    files = [repo_root / name for name in ROOT_DOCS]
+    files += sorted((repo_root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def iter_links(text: str):
+    """Yields (line_number, target) for links outside fenced code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_links(repo_root: pathlib.Path) -> list[str]:
+    errors = []
+    for doc in doc_files(repo_root):
+        text = doc.read_text(encoding="utf-8")
+        for lineno, target in iter_links(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                rel = doc.relative_to(repo_root)
+                errors.append(f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def check_staleness(repo_root: pathlib.Path, repro_binary: str,
+                    jobs: int) -> list[str]:
+    errors = []
+    with tempfile.TemporaryDirectory(prefix="check_docs_") as tmp:
+        proc = subprocess.run(
+            [repro_binary, "--jobs", str(jobs), "--output-dir", tmp],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            return [
+                f"{repro_binary} exited {proc.returncode}; "
+                "cannot check staleness. stderr tail:\n"
+                + "\n".join(proc.stderr.splitlines()[-10:])
+            ]
+        for name in ("REPRODUCTION.md", "claims.json"):
+            committed = repo_root / name
+            fresh = pathlib.Path(tmp) / name
+            if not committed.is_file():
+                errors.append(f"{name}: missing at the repo root "
+                              "(generate with ffc_repro and commit it)")
+                continue
+            old = committed.read_text(encoding="utf-8")
+            new = fresh.read_text(encoding="utf-8")
+            if old != new:
+                diff = list(
+                    difflib.unified_diff(
+                        old.splitlines(), new.splitlines(),
+                        fromfile=f"committed/{name}",
+                        tofile=f"regenerated/{name}", lineterm="", n=1,
+                    )
+                )
+                head = "\n".join(diff[:20])
+                errors.append(
+                    f"{name}: committed copy differs from fresh "
+                    f"regeneration ({len(diff)} diff lines). Regenerate "
+                    f"with: ffc_repro --output-dir . First lines:\n{head}"
+                )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", required=True,
+                        help="repository root containing README.md and docs/")
+    parser.add_argument("--repro-binary", default=None,
+                        help="path to ffc_repro; enables the staleness gate")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="--jobs to pass to ffc_repro (default 4)")
+    args = parser.parse_args()
+
+    repo_root = pathlib.Path(args.repo_root).resolve()
+    if not (repo_root / "README.md").is_file():
+        print(f"check-docs: {repo_root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    errors = check_links(repo_root)
+    n_docs = len(doc_files(repo_root))
+    if args.repro_binary:
+        errors += check_staleness(repo_root, args.repro_binary, args.jobs)
+
+    if errors:
+        print(f"check-docs: {len(errors)} problem(s):", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    gates = "links" + (" + reproduction staleness" if args.repro_binary
+                       else "")
+    print(f"check-docs: OK ({n_docs} documents, gates: {gates})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
