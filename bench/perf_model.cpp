@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/ffc.hpp"
+#include "spectral/stability.hpp"
 #include "stats/rng.hpp"
 
 namespace {
@@ -104,6 +105,78 @@ BENCHMARK_CAPTURE(model_step_workspace, fairshare_aggregate,
 BENCHMARK_CAPTURE(model_step_workspace, fairshare_individual,
                   core::FeedbackStyle::Individual, true)
     ->Arg(64)->Arg(256)->Arg(1024);
+
+// The large-N family (docs/SCALING.md): the same warm workspace step at
+// N = 10^4, 10^5, 10^6 connections on one shared gateway with mu = N. This
+// is the regime the CSR/SoA engine exists for -- O(E) construction and O(N)
+// (FIFO) / O(N log N) (FairShare sort) per step, where the pre-CSR
+// index_paths() construction alone was O(N^2). Iterations are pinned so a
+// bench-json run stays bounded; the items/s trend across the three decades
+// is the scaling claim (flat = linear, a gentle droop at FairShare = the
+// sort's log factor).
+void model_step_large(benchmark::State& state, core::FeedbackStyle style,
+                      bool fair_share) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::shared_ptr<const queueing::ServiceDiscipline> disc;
+  if (fair_share) {
+    disc = std::make_shared<queueing::FairShare>();
+  } else {
+    disc = std::make_shared<queueing::Fifo>();
+  }
+  core::FlowControlModel model(
+      network::single_bottleneck(n, static_cast<double>(n)), std::move(disc),
+      std::make_shared<core::RationalSignal>(), style,
+      std::make_shared<core::AdditiveTsi>(0.4, 0.5));
+  stats::Xoshiro256 rng(9);
+  std::vector<double> rates(n);
+  for (double& x : rates) x = rng.uniform(0.3, 0.6);
+  core::ModelWorkspace ws;
+  model.step(rates, ws);  // validate + warm the workspace once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.step_unchecked(rates, ws));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK_CAPTURE(model_step_large, fifo_aggregate,
+                  core::FeedbackStyle::Aggregate, false)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Iterations(20);
+BENCHMARK_CAPTURE(model_step_large, fifo_individual,
+                  core::FeedbackStyle::Individual, false)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Iterations(20);
+BENCHMARK_CAPTURE(model_step_large, fairshare_aggregate,
+                  core::FeedbackStyle::Aggregate, true)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Iterations(20);
+BENCHMARK_CAPTURE(model_step_large, fairshare_individual,
+                  core::FeedbackStyle::Individual, true)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Iterations(20);
+
+// A full matrix-free spectral-radius solve (spectral::spectral_stability,
+// iterative path) at an interior fixed point: power iteration over the
+// finite-difference Jacobian-vector operator, 2 model evaluations per
+// application, O(N) memory. The dense equivalent is O(N^2) memory -- 80 GB
+// at N = 10^5 -- so this family has no dense baseline to compare against;
+// correctness is pinned by tests/test_sparse_eigen.cpp instead.
+void BM_SparseSpectralRadius(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::FlowControlModel model(
+      network::single_bottleneck(n, static_cast<double>(n)),
+      std::make_shared<queueing::FairShare>(),
+      std::make_shared<core::RationalSignal>(),
+      core::FeedbackStyle::Individual,
+      std::make_shared<core::AdditiveTsi>(0.4, 0.5));
+  // r_i = 1/2 is the exact symmetric fixed point (C_ss = beta/(1-beta) = 1);
+  // the spectrum there is real (Theorem 4) with radius 0.8.
+  const std::vector<double> rates(n, 0.5);
+  spectral::SpectralOptions opts;
+  opts.method = spectral::SpectralOptions::Method::Iterative;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spectral::spectral_stability(model, rates, opts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SparseSpectralRadius)->Arg(10000)->Arg(100000)->Iterations(3);
 
 // Reference-vs-optimized pairs. The *_reference functions are the original
 // O(N^2) formulations kept in-tree for the golden-equivalence tests; these

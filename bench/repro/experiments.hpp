@@ -51,7 +51,8 @@ struct ExperimentInfo {
 };
 
 /// The full registry, in EXPERIMENTS.md order (TAB1, E1..E13, E13b, E14,
-/// E15). Ids are unique; this order is the section order of REPRODUCTION.md.
+/// E15, E16). Ids are unique; this order is the section order of
+/// REPRODUCTION.md.
 const std::vector<ExperimentInfo>& all_experiments();
 
 // Experiment bodies, one per EXPERIMENTS.md section.
@@ -72,6 +73,7 @@ void run_e13(ExperimentContext& ctx);
 void run_e13b(ExperimentContext& ctx);
 void run_e14(ExperimentContext& ctx);
 void run_e15(ExperimentContext& ctx);
+void run_e16(ExperimentContext& ctx);
 
 /// Standalone-binary entry point: looks up `id` in the registry, parses the
 /// sweep CLI when the experiment is sweep-enabled (preserving the historical

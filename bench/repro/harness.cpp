@@ -41,6 +41,7 @@ const std::vector<ExperimentInfo>& all_experiments() {
       {"E14", "DECbit window control on the packet simulator", false, 0,
        &run_e14},
       {"E15", "Connection churn (join/leave transients)", false, 0, &run_e15},
+      {"E16", "Sparse spectral stability at N = 1e5", false, 0, &run_e16},
   };
   return table;
 }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <utility>
+
+#include "network/csr.hpp"
 
 namespace ffc::core {
 
@@ -28,7 +31,7 @@ FlowControlModel::FlowControlModel(
   for (const auto& adj : adjusters_) {
     if (!adj) throw std::invalid_argument("FlowControlModel: null adjuster");
   }
-  index_paths();
+  cache_path_latencies();
 }
 
 namespace {
@@ -59,21 +62,14 @@ FlowControlModel::FlowControlModel(
   for (const auto& adj : adjusters_) {
     if (!adj) throw std::invalid_argument("FlowControlModel: null adjuster");
   }
-  index_paths();
+  cache_path_latencies();
 }
 
-void FlowControlModel::index_paths() {
+void FlowControlModel::cache_path_latencies() {
   const std::size_t num_conn = topology_.num_connections();
-  local_at_hop_.assign(num_conn, {});
+  path_latency_.resize(num_conn);
   for (network::ConnectionId i = 0; i < num_conn; ++i) {
-    const auto& path = topology_.path(i);
-    local_at_hop_[i].reserve(path.size());
-    for (network::GatewayId a : path) {
-      const auto& members = topology_.connections_through(a);
-      const auto it = std::find(members.begin(), members.end(), i);
-      local_at_hop_[i].push_back(
-          static_cast<std::size_t>(it - members.begin()));
-    }
+    path_latency_[i] = topology_.path_latency(i);
   }
 }
 
@@ -93,25 +89,29 @@ void FlowControlModel::validate_boundary(
 
 void FlowControlModel::observe_into(const std::vector<double>& rates,
                                     ModelWorkspace& ws) const {
+  const network::CsrIncidence& csr = topology_.incidence();
   const std::size_t num_gw = topology_.num_gateways();
   const std::size_t num_conn = topology_.num_connections();
+  const std::size_t entries = csr.num_entries();
   NetworkState& state = ws.state;
   state.gateways.resize(num_gw);
-  state.combined_signals.assign(num_conn, 0.0);
   state.bottlenecks.resize(num_conn);
   for (auto& b : state.bottlenecks) b.clear();
-  state.delays.assign(num_conn, 0.0);
-  ws.local_rates.resize(num_gw);
-  ws.sojourns.resize(num_gw);
+  ws.signals.resize(entries);
+  ws.sojourns.resize(entries);
 
-  // Per-gateway observables, all written into reused buffers.
+  // Distribute the rate vector into the flat gateway-major SoA buffer; each
+  // gateway then reads its Gamma(a) slice as a span without copying.
+  network::gather_by_gateway_into(csr, rates, ws.local_rates);
+
+  // Per-gateway observables, all written into reused buffers. Sojourns land
+  // directly in the flat SoA buffer; signals are mirrored into it so the
+  // per-connection stage below is a pure CSR reduction.
   for (network::GatewayId a = 0; a < num_gw; ++a) {
-    const auto& members = topology_.connections_through(a);
-    std::vector<double>& local = ws.local_rates[a];
-    local.resize(members.size());
-    for (std::size_t k = 0; k < members.size(); ++k) {
-      local[k] = rates[members[k]];
-    }
+    const std::size_t offset = csr.gateway_offset(a);
+    const std::size_t n_local = csr.fan_in(a);
+    const std::span<const double> local(ws.local_rates.data() + offset,
+                                        n_local);
     const double mu = topology_.gateway(a).mu;
     GatewayObservation& obs = state.gateways[a];
     discipline_->queue_lengths_into(local, mu, ws.discipline, obs.queues);
@@ -119,29 +119,26 @@ void FlowControlModel::observe_into(const std::vector<double>& rates,
     obs.signals.resize(obs.congestion.size());
     for (std::size_t k = 0; k < obs.congestion.size(); ++k) {
       obs.signals[k] = (*signal_)(obs.congestion[k]);
+      ws.signals[offset + k] = obs.signals[k];
     }
-    discipline_->sojourn_times_into(local, mu, obs.queues, ws.discipline,
-                                    ws.sojourns[a]);
+    discipline_->sojourn_times_into(
+        local, mu, obs.queues, ws.discipline,
+        std::span<double>(ws.sojourns.data() + offset, n_local));
   }
 
-  // Per-connection combination: bottleneck signal and round-trip delay.
-  // local_at_hop_ holds the precomputed Gamma(a)-local index of connection
-  // i at each hop, so this loop never searches the membership lists.
+  // Per-connection combination as SoA reductions over the CSR slot map:
+  // bottleneck signal b_i = max over the path, round-trip delay d_i = path
+  // latency (cached) + sum of per-hop sojourns.
+  network::reduce_max_over_paths_into(csr, ws.signals, state.combined_signals);
+  network::reduce_sum_over_paths_into(csr, ws.sojourns, state.delays);
   for (network::ConnectionId i = 0; i < num_conn; ++i) {
-    const auto& path = topology_.path(i);
-    const auto& local_idx = local_at_hop_[i];
-    double best = -1.0;
-    for (std::size_t h = 0; h < path.size(); ++h) {
-      const network::GatewayId a = path[h];
-      const std::size_t k = local_idx[h];
-      const double b = state.gateways[a].signals[k];
-      if (b > best) best = b;
-      state.delays[i] += topology_.gateway(a).latency + ws.sojourns[a][k];
-    }
-    state.combined_signals[i] = best;
+    state.delays[i] += path_latency_[i];
     // Bottlenecks: every gateway achieving the max.
+    const auto path = csr.path(i);
+    const auto slots = csr.slots(i);
+    const double best = state.combined_signals[i];
     for (std::size_t h = 0; h < path.size(); ++h) {
-      if (state.gateways[path[h]].signals[local_idx[h]] == best) {
+      if (ws.signals[slots[h]] == best) {
         state.bottlenecks[i].push_back(path[h]);
       }
     }
@@ -208,14 +205,21 @@ std::vector<double> FlowControlModel::step(const std::vector<double>& rates,
 double FlowControlModel::queue_of(const NetworkState& state,
                                   network::ConnectionId i,
                                   network::GatewayId a) const {
-  const auto& members = topology_.connections_through(a);
-  const auto it = std::find(members.begin(), members.end(), i);
-  if (it == members.end()) {
-    throw std::invalid_argument(
-        "FlowControlModel::queue_of: connection not at gateway");
+  if (a >= topology_.num_gateways()) {
+    throw std::out_of_range("FlowControlModel::queue_of: bad gateway id");
   }
-  return state.gateways.at(a).queues.at(
-      static_cast<std::size_t>(it - members.begin()));
+  if (i < topology_.num_connections()) {
+    // Scan the connection's own path (short) instead of the gateway's
+    // membership list (O(N^a) at a shared bottleneck).
+    const network::CsrIncidence& csr = topology_.incidence();
+    const auto path = csr.path(i);
+    const auto locals = csr.local_indices(i);
+    for (std::size_t h = 0; h < path.size(); ++h) {
+      if (path[h] == a) return state.gateways.at(a).queues.at(locals[h]);
+    }
+  }
+  throw std::invalid_argument(
+      "FlowControlModel::queue_of: connection not at gateway");
 }
 
 bool FlowControlModel::homogeneous_tsi() const {

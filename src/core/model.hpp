@@ -53,11 +53,17 @@ struct NetworkState {
 /// constructed workspace is valid for any model (and may be moved between
 /// models -- buffers are resized per call). One workspace serves one thread;
 /// sweep tasks each own theirs.
+///
+/// The three flat buffers are structure-of-arrays views over the topology's
+/// E incidence entries in the CSR gateway-major layout (docs/SCALING.md):
+/// gateway a reads/writes the slice starting at incidence().gateway_offset(a)
+/// and connections reduce over their path via the CSR slot map.
 struct ModelWorkspace {
-  NetworkState state;                            ///< observe() result
-  std::vector<double> next;                      ///< step() result
-  std::vector<std::vector<double>> local_rates;  ///< per-gateway rate slices
-  std::vector<std::vector<double>> sojourns;     ///< per-gateway sojourn times
+  NetworkState state;               ///< observe() result
+  std::vector<double> next;         ///< step() result
+  std::vector<double> local_rates;  ///< flat SoA per-entry rates (E)
+  std::vector<double> signals;      ///< flat SoA per-entry signals (E)
+  std::vector<double> sojourns;     ///< flat SoA per-entry sojourns (E)
   queueing::DisciplineWorkspace discipline;
   CongestionWorkspace congestion;
 };
@@ -131,7 +137,7 @@ class FlowControlModel {
   FlowControlModel with_topology(network::Topology topology) const;
 
  private:
-  void index_paths();
+  void cache_path_latencies();
   /// Boundary validation: counts as THE one validation for this entry point
   /// (see queueing::validation_count), then checks size/finiteness/sign.
   void validate_boundary(const std::vector<double>& rates) const;
@@ -144,10 +150,9 @@ class FlowControlModel {
   std::shared_ptr<const SignalFunction> signal_;
   FeedbackStyle style_;
   std::vector<std::shared_ptr<const RateAdjustment>> adjusters_;
-  /// local_at_hop_[i][h]: index of connection i within Gamma(a) for the
-  /// h-th gateway a on its path. Precomputed so observe() never searches
-  /// the membership lists (the search made large fan-in gateways O(N^2)).
-  std::vector<std::vector<std::size_t>> local_at_hop_;
+  /// Precomputed sum of latencies along each connection's path, so the
+  /// per-connection delay reduction is one add over the SoA sojourn sums.
+  std::vector<double> path_latency_;
 };
 
 }  // namespace ffc::core

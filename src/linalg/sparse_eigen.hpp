@@ -1,0 +1,153 @@
+// Iterative (matrix-free) eigenvalue estimation for large spectra.
+//
+// The dense Hessenberg+QR path in eigen.hpp materializes the full N x N
+// matrix and costs O(N^3) -- fine for N <= ~1000, hopeless for the
+// N = 10^5..10^6 regimes of the large-N experiments. This layer computes the
+// spectral radius (and, via deflation, the next few dominant eigenvalues)
+// from nothing but matrix-vector products y = A x supplied by a
+// LinearOperator:
+//
+//   1. Power iteration with a signed Rayleigh quotient. Cost O(N) memory and
+//      one operator application per step. Converges whenever the dominant
+//      eigenvalue is real and separated -- which is GUARANTEED for the
+//      individual+FairShare flow-control Jacobian, whose spectrum is real by
+//      the Theorem 4 triangularity argument (docs/THEORY.md section 8); pass
+//      IterativeEigenOptions::real_spectrum = true to extend the power
+//      budget accordingly.
+//   2. Arnoldi fallback for complex-dominant or clustered spectra: an
+//      m-step Krylov factorization A V_m = V_m H_m + h_{m+1,m} v_{m+1} e_m^T
+//      whose small m x m Hessenberg matrix is solved with the existing dense
+//      QR solver; explicit restarts with the dominant Ritz vector until the
+//      Ritz residual |h_{m+1,m}| |e_m^T y| meets tolerance. Cost O(m N)
+//      memory -- the reason the real-spectrum hint matters at N = 10^6.
+//
+// Already-converged eigenvectors are removed by orthogonal projection
+// (Schur-Wielandt deflation): restricted to the orthogonal complement of a
+// right-invariant subspace, (I - U U^T) A (I - U U^T) has exactly the
+// remaining eigenvalues, so repeating the solve yields the next-dominant
+// eigenvalue. Convergence criteria and tolerances are documented in
+// docs/SCALING.md.
+//
+// Everything is deterministic: start vectors come from a fixed-seed integer
+// mix, so repeated runs (and ffc_repro at any --jobs) reproduce bit-identical
+// results. The warm path allocates nothing: buffers live in
+// SparseEigenWorkspace and results can be written into a caller-owned
+// IterativeEigenResult.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace ffc::linalg {
+
+/// Matrix-free linear operator y = A x over R^dim.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual std::size_t dim() const = 0;
+
+  /// Computes y = A x. `y` is pre-sized to dim() by the solver; after the
+  /// implementation's own buffers have warmed up it must not allocate (the
+  /// solver's warm iterate is pinned allocation-free in tests/test_alloc).
+  virtual void apply(const Vector& x, Vector& y) const = 0;
+};
+
+/// Adapter exposing a dense Matrix as a LinearOperator -- used by the
+/// golden-equivalence tests that pit the iterative solver against the dense
+/// QR path on the same matrix.
+class MatrixOperator final : public LinearOperator {
+ public:
+  /// Keeps a reference; the matrix must outlive the operator.
+  explicit MatrixOperator(const Matrix& a);
+
+  std::size_t dim() const override { return a_->rows(); }
+  void apply(const Vector& x, Vector& y) const override;
+
+ private:
+  const Matrix* a_;
+};
+
+/// Which stage produced an eigenvalue estimate.
+enum class IterativeMethod {
+  Power,
+  Arnoldi,
+};
+
+struct IterativeEigenOptions {
+  /// Relative residual target: an estimate (lambda, v) is accepted when
+  /// ||A v - lambda v|| <= tolerance * max(|lambda|, ||A||_est).
+  double tolerance = 1e-10;
+  /// Power-iteration budget per eigenvalue when real_spectrum is set; a
+  /// short probe of min(300, power_iterations) steps is used otherwise
+  /// before handing over to Arnoldi.
+  std::size_t power_iterations = 2000;
+  /// Krylov subspace dimension m of the Arnoldi fallback (memory O(m N)).
+  std::size_t arnoldi_subspace = 48;
+  /// Maximum explicit Arnoldi restarts per eigenvalue.
+  std::size_t arnoldi_restarts = 60;
+  /// Structure hint: the operator's spectrum is known to be real (e.g. the
+  /// individual+FairShare Jacobian, lower triangular under the sort-by-rate
+  /// permutation per Theorem 4 -- docs/THEORY.md section 8). Extends the
+  /// power budget so the O(m N) Arnoldi basis is rarely needed.
+  bool real_spectrum = false;
+  /// Seed of the deterministic start-vector mix.
+  std::uint64_t start_seed = 0x8a5cd789635d2dffULL;
+};
+
+/// Reusable buffers for iterative eigenvalue solves. Grows to the operator's
+/// dimension (and, if Arnoldi engages, to (m+1) basis vectors) on first use,
+/// then stays put.
+struct SparseEigenWorkspace {
+  Vector v;        ///< current iterate
+  Vector w;        ///< operator application target
+  Vector restart;  ///< Arnoldi restart vector
+  std::vector<Vector> deflated;  ///< orthonormal converged eigenvectors
+  std::vector<Vector> basis;     ///< Arnoldi basis V (m+1 vectors)
+  Matrix hess;                   ///< Arnoldi Hessenberg ((m+1) x m)
+  Matrix small;                  ///< leading block handed to dense QR
+  std::vector<std::complex<double>> cmat;  ///< small complex solver scratch
+  std::vector<std::complex<double>> cvec;  ///< Ritz vector
+  std::vector<std::complex<double>> crhs;  ///< inverse-iteration rhs
+};
+
+struct IterativeEigenResult {
+  /// Computed eigenvalues in deflation order (approximately decreasing
+  /// magnitude). A complex-conjugate pair found by Arnoldi contributes both
+  /// members, since its whole 2-dimensional invariant subspace is deflated.
+  std::vector<std::complex<double>> eigenvalues;
+  /// max |eigenvalues[k]| -- the spectral radius once `count` >= 1.
+  double spectral_radius = 0.0;
+  /// True iff every requested eigenvalue met the residual tolerance.
+  bool converged = false;
+  /// Relative residual of the last accepted (or attempted) eigenvalue.
+  double residual = 0.0;
+  /// Total operator applications across all stages.
+  std::size_t applications = 0;
+  /// Stage that produced the LAST eigenvalue.
+  IterativeMethod method = IterativeMethod::Power;
+};
+
+/// Computes the `count` dominant eigenvalues of `op` by power iteration with
+/// orthogonal deflation and Arnoldi fallback, writing into `out` (buffers
+/// reused across calls: the warm path allocates nothing). Requesting more
+/// eigenvalues than dim() stops at dim().
+void iterative_eigenvalues_into(const LinearOperator& op, std::size_t count,
+                                const IterativeEigenOptions& opts,
+                                SparseEigenWorkspace& ws,
+                                IterativeEigenResult& out);
+
+/// Allocating convenience wrapper.
+IterativeEigenResult iterative_eigenvalues(
+    const LinearOperator& op, std::size_t count,
+    const IterativeEigenOptions& opts = {});
+
+/// Dominant eigenvalue magnitude only (count = 1).
+IterativeEigenResult iterative_spectral_radius(
+    const LinearOperator& op, const IterativeEigenOptions& opts = {});
+
+}  // namespace ffc::linalg

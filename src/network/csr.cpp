@@ -1,0 +1,85 @@
+#include "network/csr.hpp"
+
+#include <numeric>
+
+#include "network/topology.hpp"
+
+namespace ffc::network {
+
+CsrIncidence::CsrIncidence(std::size_t num_gateways,
+                           const std::vector<Connection>& connections) {
+  const std::size_t num_conn = connections.size();
+  std::size_t entries = 0;
+  for (const Connection& c : connections) entries += c.path.size();
+
+  gw_row_.assign(num_gateways + 1, 0);
+  for (const Connection& c : connections) {
+    for (GatewayId a : c.path) ++gw_row_[a + 1];
+  }
+  std::partial_sum(gw_row_.begin(), gw_row_.end(), gw_row_.begin());
+
+  conn_row_.assign(num_conn + 1, 0);
+  gw_conn_.resize(entries);
+  conn_gw_.resize(entries);
+  conn_local_.resize(entries);
+  conn_slot_.resize(entries);
+
+  // One pass in ascending connection id: appending at each gateway's cursor
+  // yields ascending connection ids per gateway row, and the cursor position
+  // IS the Gamma(a)-local index, so no membership search is ever needed.
+  std::vector<std::size_t> cursor(gw_row_.begin(), gw_row_.end() - 1);
+  std::size_t e = 0;
+  for (ConnectionId i = 0; i < num_conn; ++i) {
+    conn_row_[i] = e;
+    for (GatewayId a : connections[i].path) {
+      const std::size_t slot = cursor[a]++;
+      gw_conn_[slot] = i;
+      conn_gw_[e] = a;
+      conn_local_[e] = slot - gw_row_[a];
+      conn_slot_[e] = slot;
+      ++e;
+    }
+  }
+  conn_row_[num_conn] = e;
+}
+
+void gather_by_gateway_into(const CsrIncidence& csr,
+                            const std::vector<double>& per_connection,
+                            std::vector<double>& flat) {
+  const std::size_t entries = csr.num_entries();
+  flat.resize(entries);
+  const std::size_t num_conn = csr.num_connections();
+  for (ConnectionId i = 0; i < num_conn; ++i) {
+    const double value = per_connection[i];
+    for (std::size_t slot : csr.slots(i)) flat[slot] = value;
+  }
+}
+
+void reduce_max_over_paths_into(const CsrIncidence& csr,
+                                const std::vector<double>& flat,
+                                std::vector<double>& per_connection) {
+  const std::size_t num_conn = csr.num_connections();
+  per_connection.resize(num_conn);
+  for (ConnectionId i = 0; i < num_conn; ++i) {
+    const auto slots = csr.slots(i);
+    double best = flat[slots.front()];
+    for (std::size_t h = 1; h < slots.size(); ++h) {
+      if (flat[slots[h]] > best) best = flat[slots[h]];
+    }
+    per_connection[i] = best;
+  }
+}
+
+void reduce_sum_over_paths_into(const CsrIncidence& csr,
+                                const std::vector<double>& flat,
+                                std::vector<double>& per_connection) {
+  const std::size_t num_conn = csr.num_connections();
+  per_connection.resize(num_conn);
+  for (ConnectionId i = 0; i < num_conn; ++i) {
+    double total = 0.0;
+    for (std::size_t slot : csr.slots(i)) total += flat[slot];
+    per_connection[i] = total;
+  }
+}
+
+}  // namespace ffc::network

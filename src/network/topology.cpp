@@ -19,7 +19,6 @@ Topology::Topology(std::vector<Gateway> gateways,
       throw std::invalid_argument("Topology: latency must be >= 0 and finite");
     }
   }
-  through_.assign(gateways_.size(), {});
   for (ConnectionId i = 0; i < connections_.size(); ++i) {
     const auto& path = connections_[i].path;
     if (path.empty()) {
@@ -33,8 +32,14 @@ Topology::Topology(std::vector<Gateway> gateways,
       if (!seen.insert(a).second) {
         throw std::invalid_argument("Topology: path revisits a gateway");
       }
-      through_[a].push_back(i);
     }
+  }
+  csr_ = CsrIncidence(gateways_.size(), connections_);
+}
+
+void Topology::check_gateway(GatewayId a) const {
+  if (a >= gateways_.size()) {
+    throw std::out_of_range("Topology: gateway id out of range");
   }
 }
 

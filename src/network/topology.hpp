@@ -8,13 +8,13 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
-namespace ffc::network {
+#include "network/csr.hpp"
 
-using GatewayId = std::size_t;
-using ConnectionId = std::size_t;
+namespace ffc::network {
 
 /// One logical gateway: an exponential server plus its line's latency.
 struct Gateway {
@@ -50,12 +50,22 @@ class Topology {
   }
 
   /// Gamma(a): connections through gateway a (ascending connection id).
-  const std::vector<ConnectionId>& connections_through(GatewayId a) const {
-    return through_.at(a);
+  /// Throws std::out_of_range for an unknown gateway id.
+  std::span<const ConnectionId> connections_through(GatewayId a) const {
+    check_gateway(a);
+    return csr_.connections_through(a);
   }
 
   /// N^a: number of connections through gateway a.
-  std::size_t fan_in(GatewayId a) const { return through_.at(a).size(); }
+  std::size_t fan_in(GatewayId a) const {
+    check_gateway(a);
+    return csr_.fan_in(a);
+  }
+
+  /// The dual-CSR incidence index (docs/SCALING.md): gateway-major and
+  /// connection-major membership rows plus the flat SoA slot map the model
+  /// layer iterates over without searching.
+  const CsrIncidence& incidence() const { return csr_; }
 
   /// Sum of latencies along connection i's path.
   double path_latency(ConnectionId i) const;
@@ -71,9 +81,11 @@ class Topology {
   std::string summary() const;
 
  private:
+  void check_gateway(GatewayId a) const;
+
   std::vector<Gateway> gateways_;
   std::vector<Connection> connections_;
-  std::vector<std::vector<ConnectionId>> through_;
+  CsrIncidence csr_;
 };
 
 }  // namespace ffc::network

@@ -30,7 +30,7 @@ void count_validation() {
 }
 }  // namespace detail
 
-void validate_rates(const std::vector<double>& rates, double mu) {
+void validate_rates(std::span<const double> rates, double mu) {
   detail::count_validation();
   if (!(mu > 0.0)) {
     throw std::invalid_argument("ServiceDiscipline: mu must be > 0");
@@ -46,11 +46,11 @@ void validate_rates(const std::vector<double>& rates, double mu) {
   }
 }
 
-void ServiceDiscipline::sojourn_times_into(const std::vector<double>& rates,
+void ServiceDiscipline::sojourn_times_into(std::span<const double> rates,
                                            double mu,
-                                           const std::vector<double>& queues,
+                                           std::span<const double> queues,
                                            DisciplineWorkspace& ws,
-                                           std::vector<double>& out) const {
+                                           std::span<double> out) const {
   // For zero-rate connections, evaluate the discipline with a vanishingly
   // small probe rate; Q_i / r_i then approximates the limiting delay of a
   // lone probe packet.
@@ -63,7 +63,6 @@ void ServiceDiscipline::sojourn_times_into(const std::vector<double>& rates,
     }
   }
   const std::size_t n = rates.size();
-  out.resize(n);
   if (!any_probe) {
     // Fast path: reuse the queues already computed at these exact rates.
     for (std::size_t i = 0; i < n; ++i) {
@@ -75,11 +74,11 @@ void ServiceDiscipline::sojourn_times_into(const std::vector<double>& rates,
   for (std::size_t i = 0; i < n; ++i) {
     ws.probed[i] = rates[i] == 0.0 ? kProbeFraction * mu : rates[i];
   }
-  // `out` doubles as the probed-queue buffer: queue_lengths_into fills it,
-  // then it is rescaled in place.
-  queue_lengths_into(ws.probed, mu, ws, out);
+  queue_lengths_into(ws.probed, mu, ws, ws.probe_queues);
   for (std::size_t i = 0; i < n; ++i) {
-    if (!std::isinf(out[i])) out[i] /= ws.probed[i];
+    out[i] = std::isinf(ws.probe_queues[i])
+                 ? ws.probe_queues[i]
+                 : ws.probe_queues[i] / ws.probed[i];
   }
 }
 
@@ -89,7 +88,7 @@ std::vector<double> ServiceDiscipline::sojourn_times(
   DisciplineWorkspace ws;
   std::vector<double> queues;
   queue_lengths_into(rates, mu, ws, queues);
-  std::vector<double> out;
+  std::vector<double> out(rates.size());
   sojourn_times_into(rates, mu, queues, ws, out);
   return out;
 }

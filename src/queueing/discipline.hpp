@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -31,9 +32,10 @@ namespace ffc::queueing {
 /// Buffers grow to the largest gateway seen and then stay put; a default-
 /// constructed workspace is valid for any call.
 struct DisciplineWorkspace {
-  std::vector<double> probed;       ///< sojourn probe rates
-  std::vector<double> scratch;      ///< per-connection doubles
-  std::vector<std::size_t> order;   ///< sort permutation
+  std::vector<double> probed;        ///< sojourn probe rates
+  std::vector<double> probe_queues;  ///< queues at the probed rates
+  std::vector<double> scratch;       ///< per-connection doubles
+  std::vector<std::size_t> order;    ///< sort permutation
 };
 
 /// Interface for analytic service disciplines.
@@ -44,11 +46,13 @@ class ServiceDiscipline {
   /// Mean number of packets of each connection in the system, written into
   /// `out` (resized to rates.size()) in the same order as `rates`. Entries
   /// may be +infinity when the relevant load is at or beyond capacity.
+  /// `rates` is a span so the model layer can pass slices of one flat
+  /// structure-of-arrays buffer (docs/SCALING.md) without copying.
   ///
   /// UNCHECKED fast path: the caller must guarantee mu > 0 and all rates
   /// finite and >= 0 (the validated wrapper below does). Implementations
   /// must not allocate once the workspace buffers have warmed up.
-  virtual void queue_lengths_into(const std::vector<double>& rates, double mu,
+  virtual void queue_lengths_into(std::span<const double> rates, double mu,
                                   DisciplineWorkspace& ws,
                                   std::vector<double>& out) const = 0;
 
@@ -72,16 +76,17 @@ class ServiceDiscipline {
   /// of queue_lengths_into at the same (rates, mu); when every rate is
   /// positive the sojourns are computed directly from it (W_i = Q_i / r_i),
   /// otherwise the zero-rate connections are probed exactly as the
-  /// validated wrapper does.
-  void sojourn_times_into(const std::vector<double>& rates, double mu,
-                          const std::vector<double>& queues,
+  /// validated wrapper does. `out` must already have rates.size() entries
+  /// (it may be a slice of a flat SoA buffer, which spans cannot grow).
+  void sojourn_times_into(std::span<const double> rates, double mu,
+                          std::span<const double> queues,
                           DisciplineWorkspace& ws,
-                          std::vector<double>& out) const;
+                          std::span<double> out) const;
 };
 
 /// Validates (mu, rates) preconditions shared by all disciplines; throws
 /// std::invalid_argument on violation. Counted by validation_count().
-void validate_rates(const std::vector<double>& rates, double mu);
+void validate_rates(std::span<const double> rates, double mu);
 
 /// Test hook: number of rate-vector validations performed while counting
 /// was enabled -- every validate_rates call plus every model-boundary check

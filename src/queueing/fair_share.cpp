@@ -17,7 +17,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // under std::sort reproduces std::stable_sort's permutation without the
 // temporary buffer stable_sort allocates -- this runs inside the
 // allocation-free fast path.
-void sorted_by_rate_into(const std::vector<double>& rates,
+void sorted_by_rate_into(std::span<const double> rates,
                          std::vector<std::size_t>& order) {
   order.resize(rates.size());
   std::iota(order.begin(), order.end(), 0);
@@ -84,7 +84,7 @@ std::vector<double> FairShare::cumulative_loads_reference(
   return sigma;
 }
 
-void FairShare::queue_lengths_into(const std::vector<double>& rates, double mu,
+void FairShare::queue_lengths_into(std::span<const double> rates, double mu,
                                    DisciplineWorkspace& ws,
                                    std::vector<double>& out) const {
   const std::size_t n = rates.size();

@@ -18,7 +18,7 @@ class Fifo final : public ServiceDiscipline {
   // Defined inline: the body is a two-pass loop, and keeping it visible lets
   // calls on a concrete Fifo (the common case in the solver hot loops)
   // devirtualize and inline it outright.
-  void queue_lengths_into(const std::vector<double>& rates, double mu,
+  void queue_lengths_into(std::span<const double> rates, double mu,
                           DisciplineWorkspace& /*ws*/,
                           std::vector<double>& out) const override {
     double rho_total = 0.0;

@@ -4,7 +4,7 @@
 
 namespace ffc::queueing {
 
-void ProcessorSharing::queue_lengths_into(const std::vector<double>& rates,
+void ProcessorSharing::queue_lengths_into(std::span<const double> rates,
                                           double mu,
                                           DisciplineWorkspace& /*ws*/,
                                           std::vector<double>& out) const {

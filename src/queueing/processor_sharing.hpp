@@ -21,7 +21,7 @@ namespace ffc::queueing {
 
 class ProcessorSharing final : public ServiceDiscipline {
  public:
-  void queue_lengths_into(const std::vector<double>& rates, double mu,
+  void queue_lengths_into(std::span<const double> rates, double mu,
                           DisciplineWorkspace& ws,
                           std::vector<double>& out) const override;
   std::string_view name() const override { return "ProcessorSharing"; }

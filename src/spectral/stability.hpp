@@ -1,0 +1,89 @@
+// Scalable spectral stability: dense below a size threshold, matrix-free
+// iterative above it.
+//
+// spectral_stability() answers the same question as core::analyze_stability
+// -- is the spectral radius of DF at this point below 1, ignoring unit-
+// magnitude manifold modes? -- but picks the eigensolver by problem size:
+//
+//   * N <  dense_threshold: materialize DF (2N model evaluations) and run
+//     the Hessenberg+QR dense solver. Exact full spectrum.
+//   * N >= dense_threshold: power iteration with Schur-Wielandt deflation
+//     over the matrix-free Jacobian-vector operator, falling back to Arnoldi
+//     for complex-dominant spectra (linalg/sparse_eigen.hpp). O(N) memory.
+//
+// For individual feedback + FairShare service the map's Jacobian is lower
+// triangular under the sort-by-rate permutation (Theorem 4), so its spectrum
+// is real and the cheap power-only path is reliable; the dispatcher detects
+// that combination and sets the solver's real_spectrum hint automatically
+// (docs/THEORY.md section 8, docs/SCALING.md).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "core/model.hpp"
+#include "linalg/sparse_eigen.hpp"
+#include "spectral/operator.hpp"
+
+namespace ffc::spectral {
+
+struct SpectralOptions {
+  enum class Method {
+    Auto,       ///< dense below dense_threshold, iterative at or above
+    Dense,      ///< always materialize DF and run QR
+    Iterative,  ///< always matrix-free
+  };
+  Method method = Method::Auto;
+  /// Auto switches to the iterative path at this connection count. 512 keeps
+  /// the dense path (O(N^3) eigensolve, O(N^2) memory) under ~0.5 s and a
+  /// few MB; see docs/SCALING.md for the crossover measurement.
+  std::size_t dense_threshold = 512;
+  /// Eigenvalues whose magnitude is within this of 1 count as steady-state
+  /// manifold modes (same convention as core::analyze_stability).
+  double manifold_tolerance = 1e-6;
+  /// With the dominant eigenvalue on the unit circle, how many unit modes to
+  /// deflate while hunting for the reduced (non-manifold) radius. Aggregate
+  /// feedback puts an (N - N_bottleneck)-dimensional manifold at exactly 1,
+  /// so the hunt must be capped; if the cap is exhausted the report flags
+  /// reduced_resolved = false instead of guessing.
+  std::size_t max_unit_deflations = 4;
+  JvpOptions jvp;  ///< finite-difference step control
+  /// Solver budgets and tolerance. The default tolerance sits at the
+  /// finite-difference noise floor of the matrix-free operator (~1e-7
+  /// relative with the default jvp step): asking the eigensolver for more
+  /// digits than the operator carries just burns the power-iteration budget
+  /// and falls through to Arnoldi on noise (docs/SCALING.md). Callers
+  /// supplying an exact operator can tighten this back to 1e-10.
+  linalg::IterativeEigenOptions iterative{.tolerance = 1e-7};
+};
+
+struct SpectralReport {
+  double spectral_radius = 0.0;
+  bool systemically_stable = false;  ///< spectral_radius < 1
+  /// Spectral radius over non-unit-magnitude eigenvalues, when resolved.
+  double reduced_spectral_radius = 0.0;
+  bool reduced_resolved = false;
+  bool stable_modulo_manifold = false;  ///< meaningful iff reduced_resolved
+  std::size_t unit_modes_deflated = 0;
+  /// Eigenvalues actually computed: the full spectrum on the dense path,
+  /// the deflation sequence on the iterative path.
+  std::vector<std::complex<double>> eigenvalues;
+  bool used_iterative = false;
+  bool converged = false;
+  /// Theorem-4 structure detected (individual + FairShare): the iterative
+  /// solver ran with the real-spectrum hint.
+  bool triangular_hint = false;
+  /// Model evaluations spent (dense: 2N+1 column probes; iterative: 2 per
+  /// operator application plus the base evaluation).
+  std::size_t model_evaluations = 0;
+};
+
+/// Spectral stability of `model` at `rates` with size-dispatched solvers.
+/// Throws std::invalid_argument on a malformed rate vector (the validation
+/// happens once, at this boundary).
+SpectralReport spectral_stability(const core::FlowControlModel& model,
+                                  const std::vector<double>& rates,
+                                  const SpectralOptions& options = {});
+
+}  // namespace ffc::spectral

@@ -19,9 +19,11 @@
 #include "core/model.hpp"
 #include "core/steady_state.hpp"
 #include "helpers.hpp"
+#include "linalg/sparse_eigen.hpp"
 #include "network/builders.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/simulator.hpp"
+#include "spectral/operator.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
@@ -124,6 +126,65 @@ TEST(AllocFree, FixedPointSolveReusingWorkspaceDoesNotAllocate) {
   EXPECT_TRUE(result.converged);
   EXPECT_GT(result.iterations, 10u);
   EXPECT_LE(allocs, 4u) << "iterations: " << result.iterations;
+}
+
+TEST(AllocFree, WarmSparseSpectralIterateDoesNotAllocate) {
+  // The large-N stability engine (docs/SCALING.md): once the matrix-free
+  // operator and the eigensolver workspace are warm, a full spectral-radius
+  // solve -- every J.v application, projection, and Rayleigh update --
+  // performs ZERO heap allocations.
+  // mu = N puts the interior fixed point at r_i = 0.5 with a genuinely
+  // contracting spectrum (radius 0.8 at eta = 0.4) -- the power iteration
+  // needs ~80 operator applications, so the window really exercises the
+  // warm loop.
+  const std::size_t n = 64;
+  auto model = th::single_gateway_model(n, th::fair_share(),
+                                        FeedbackStyle::Individual, 0.4, 0.5,
+                                        static_cast<double>(n));
+  ModelWorkspace model_ws;
+  ffc::core::FixedPointOptions fp_opts;
+  fp_opts.max_iterations = 2000;
+  const auto fp = ffc::core::solve_fixed_point(
+      model, std::vector<double>(n, 0.4), fp_opts, model_ws);
+  ASSERT_TRUE(fp.converged);
+  const ffc::spectral::ModelJacobianOperator op(model, fp.rates);
+  ffc::linalg::IterativeEigenOptions opts;
+  opts.real_spectrum = true;  // Theorem 4: individual + FairShare
+  ffc::linalg::SparseEigenWorkspace ws;
+  ffc::linalg::IterativeEigenResult out;
+  // Warm-up runs the exact solve to be measured: workspace vectors, result
+  // capacity, and the model workspace all reach final size.
+  ffc::linalg::iterative_eigenvalues_into(op, 1, opts, ws, out);
+  ASSERT_TRUE(out.converged);
+
+  AllocWindow window;
+  ffc::linalg::iterative_eigenvalues_into(op, 1, opts, ws, out);
+  EXPECT_EQ(window.count(), 0u);
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.applications, 10u);
+  EXPECT_NEAR(out.spectral_radius, 0.8, 1e-6);
+}
+
+TEST(AllocFree, WarmJacobianOperatorApplyDoesNotAllocate) {
+  const std::size_t n = 32;
+  auto model = th::single_gateway_model(n, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  std::vector<double> rates(n, 0.8 / static_cast<double>(n));
+  rates[0] = 0.0;  // exercise the one-sided boundary fallback too
+  const ffc::spectral::ModelJacobianOperator op(model, rates);
+  std::vector<double> x(n, 0.0), y(n);
+  const auto sweep = [&] {
+    for (std::size_t k = 0; k < n; ++k) {
+      std::fill(x.begin(), x.end(), 0.0);
+      x[k] = k % 2 ? 1.0 : -1.0;  // both probe directions
+      op.apply(x, y);
+    }
+  };
+  sweep();  // warm-up: probe buffers and model workspace materialize
+
+  AllocWindow window;
+  sweep();
+  EXPECT_EQ(window.count(), 0u);
 }
 
 TEST(AllocFree, TaggedEventCalendarDoesNotAllocate) {

@@ -1,10 +1,13 @@
-// Tests for Topology and the canonical topology builders.
+// Tests for Topology, the CSR incidence engine, and the canonical topology
+// builders.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "network/builders.hpp"
+#include "network/csr.hpp"
 #include "network/topology.hpp"
 #include "stats/rng.hpp"
 
@@ -31,6 +34,101 @@ TEST(Topology, IncidenceSetsAreConsistent) {
   EXPECT_TRUE(std::find(through0.begin(), through0.end(), 1u) !=
               through0.end());
   EXPECT_DOUBLE_EQ(topo.path_latency(1), 0.3);
+}
+
+TEST(CsrIncidence, DualViewsAgree) {
+  // Three gateways, four connections with overlapping multi-hop paths.
+  Topology topo({{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}},
+                {Connection{{0, 1}}, Connection{{1, 2}}, Connection{{0, 2}},
+                 Connection{{2}}});
+  const auto& csr = topo.incidence();
+  EXPECT_EQ(csr.num_gateways(), 3u);
+  EXPECT_EQ(csr.num_connections(), 4u);
+  EXPECT_EQ(csr.num_entries(), 7u);
+
+  // Gateway-major rows list ascending connection ids.
+  for (ffc::network::GatewayId a = 0; a < 3; ++a) {
+    const auto gamma = csr.connections_through(a);
+    EXPECT_EQ(gamma.size(), csr.fan_in(a));
+    EXPECT_TRUE(std::is_sorted(gamma.begin(), gamma.end()));
+  }
+  // Connection-major rows preserve traversal order and mirror the
+  // gateway-major membership exactly.
+  for (ffc::network::ConnectionId i = 0; i < 4; ++i) {
+    const auto path = csr.path(i);
+    const auto locals = csr.local_indices(i);
+    const auto slots = csr.slots(i);
+    ASSERT_EQ(path.size(), locals.size());
+    ASSERT_EQ(path.size(), slots.size());
+    for (std::size_t h = 0; h < path.size(); ++h) {
+      const auto gamma = csr.connections_through(path[h]);
+      ASSERT_LT(locals[h], gamma.size());
+      EXPECT_EQ(gamma[locals[h]], i);  // the local index points back at i
+      EXPECT_EQ(slots[h], csr.gateway_offset(path[h]) + locals[h]);
+    }
+  }
+}
+
+TEST(CsrIncidence, SoaPrimitivesMatchScalarDefinitions) {
+  Topology topo({{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}},
+                {Connection{{0, 1}}, Connection{{1, 2}}, Connection{{0, 2}},
+                 Connection{{2}}});
+  const auto& csr = topo.incidence();
+  const std::vector<double> rates = {0.125, 0.25, 0.5, 0.0625};
+
+  std::vector<double> flat;
+  ffc::network::gather_by_gateway_into(csr, rates, flat);
+  ASSERT_EQ(flat.size(), csr.num_entries());
+  for (ffc::network::GatewayId a = 0; a < 3; ++a) {
+    const auto gamma = csr.connections_through(a);
+    for (std::size_t k = 0; k < gamma.size(); ++k) {
+      EXPECT_EQ(flat[csr.gateway_offset(a) + k], rates[gamma[k]]);
+    }
+  }
+
+  // Write a distinct value into every slot, then reduce per path.
+  for (std::size_t e = 0; e < flat.size(); ++e) flat[e] = double(e + 1);
+  std::vector<double> max_out, sum_out;
+  ffc::network::reduce_max_over_paths_into(csr, flat, max_out);
+  ffc::network::reduce_sum_over_paths_into(csr, flat, sum_out);
+  ASSERT_EQ(max_out.size(), 4u);
+  ASSERT_EQ(sum_out.size(), 4u);
+  for (ffc::network::ConnectionId i = 0; i < 4; ++i) {
+    double expected_max = 0.0, expected_sum = 0.0;
+    for (const std::size_t slot : csr.slots(i)) {
+      expected_max = std::max(expected_max, flat[slot]);
+      expected_sum += flat[slot];
+    }
+    EXPECT_EQ(max_out[i], expected_max);
+    EXPECT_EQ(sum_out[i], expected_sum);
+  }
+}
+
+TEST(CsrIncidence, RandomTopologiesStayConsistent) {
+  Xoshiro256 rng(99);
+  for (int rep = 0; rep < 10; ++rep) {
+    RandomTopologyParams params;
+    params.num_gateways = 4 + std::size_t(rep % 3);
+    params.num_connections = 12;
+    params.max_path_length = 4;
+    const Topology topo = random_topology(rng, params);
+    const auto& csr = topo.incidence();
+    std::size_t total = 0;
+    for (ffc::network::GatewayId a = 0; a < csr.num_gateways(); ++a) {
+      total += csr.fan_in(a);
+    }
+    EXPECT_EQ(total, csr.num_entries());
+    for (ffc::network::ConnectionId i = 0; i < csr.num_connections(); ++i) {
+      const auto path = csr.path(i);
+      const auto& declared = topo.connection(i).path;
+      ASSERT_EQ(path.size(), declared.size());
+      for (std::size_t h = 0; h < path.size(); ++h) {
+        EXPECT_EQ(path[h], declared[h]);
+        const auto gamma = csr.connections_through(path[h]);
+        EXPECT_EQ(gamma[csr.local_indices(i)[h]], i);
+      }
+    }
+  }
 }
 
 TEST(Topology, RejectsInvalidInput) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """check-docs: keep the documentation honest.
 
-Two independent gates, both run by the `check-docs` CMake target and the
+Three independent gates, all run by the `check-docs` CMake target and the
 `check_docs` ctest entry (see docs/CLAIMS.md):
 
   1. Link integrity. Every relative markdown link in README.md,
@@ -11,7 +11,13 @@ Two independent gates, both run by the `check-docs` CMake target and the
      External (http/https/mailto) and pure in-page (#...) links are skipped,
      as are links inside fenced code blocks.
 
-  2. Staleness of the generated reproduction report. With --repro-binary
+  2. Reachability. Every docs/*.md must be reachable from README.md by
+     following relative markdown links (breadth-first over the link graph).
+     A document nobody links to is invisible to a reader entering at the
+     README -- add it to the README docs index or link it from a reachable
+     page.
+
+  3. Staleness of the generated reproduction report. With --repro-binary
      given, the committed REPRODUCTION.md and claims.json at the repo root
      must be byte-identical to a fresh regeneration by that binary. Both
      artifacts are pure functions of the build (no timestamps), so any diff
@@ -83,6 +89,45 @@ def check_links(repo_root: pathlib.Path) -> list[str]:
     return errors
 
 
+def relative_link_targets(doc: pathlib.Path):
+    """Yields resolved filesystem paths of the doc's relative links."""
+    text = doc.read_text(encoding="utf-8")
+    for _lineno, target in iter_links(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        yield (doc.parent / path_part).resolve()
+
+
+def reachable_from_readme(repo_root: pathlib.Path) -> set[pathlib.Path]:
+    """Markdown files reachable from README.md over relative links (BFS)."""
+    seen: set[pathlib.Path] = set()
+    frontier = [(repo_root / "README.md").resolve()]
+    while frontier:
+        doc = frontier.pop()
+        if doc in seen or doc.suffix.lower() != ".md" or not doc.is_file():
+            continue
+        seen.add(doc)
+        frontier.extend(relative_link_targets(doc))
+    return seen
+
+
+def check_orphans(repo_root: pathlib.Path) -> list[str]:
+    """Every docs/*.md must be reachable from README.md."""
+    reachable = reachable_from_readme(repo_root)
+    errors = []
+    for doc in sorted((repo_root / "docs").glob("*.md")):
+        if doc.resolve() not in reachable:
+            rel = doc.relative_to(repo_root)
+            errors.append(
+                f"{rel}: orphaned -- not reachable from README.md via "
+                "relative markdown links (add it to the README docs index)"
+            )
+    return errors
+
+
 def check_staleness(repo_root: pathlib.Path, repro_binary: str,
                     jobs: int) -> list[str]:
     errors = []
@@ -140,7 +185,7 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
-    errors = check_links(repo_root)
+    errors = check_links(repo_root) + check_orphans(repo_root)
     n_docs = len(doc_files(repo_root))
     if args.repro_binary:
         errors += check_staleness(repo_root, args.repro_binary, args.jobs)
@@ -150,8 +195,8 @@ def main() -> int:
         for err in errors:
             print(f"  {err}", file=sys.stderr)
         return 1
-    gates = "links" + (" + reproduction staleness" if args.repro_binary
-                       else "")
+    gates = "links + reachability" + (" + reproduction staleness"
+                                      if args.repro_binary else "")
     print(f"check-docs: OK ({n_docs} documents, gates: {gates})")
     return 0
 

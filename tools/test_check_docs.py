@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Self-test for check_docs.py: pins the link-integrity and reachability
+gates on synthetic repositories so a regression in the checker itself --
+an orphan it stops seeing, a fence it stops skipping -- fails ctest
+(`check_docs_selftest`) rather than silently passing broken docs.
+
+No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import check_docs  # noqa: E402
+
+
+def make_repo(tmp: str, files: dict[str, str]) -> pathlib.Path:
+    root = pathlib.Path(tmp)
+    for name, text in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    return root
+
+
+class CheckLinksTest(unittest.TestCase):
+    def test_resolving_links_pass(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[design](docs/DESIGN2.md#anchor)\n",
+                "docs/DESIGN2.md": "back to [readme](../README.md)\n",
+            })
+            self.assertEqual(check_docs.check_links(root), [])
+
+    def test_broken_link_reported_with_location(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "line one\n[gone](docs/MISSING.md)\n",
+            })
+            errors = check_docs.check_links(root)
+            self.assertEqual(len(errors), 1)
+            self.assertIn("README.md:2", errors[0])
+            self.assertIn("docs/MISSING.md", errors[0])
+
+    def test_links_inside_fences_are_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "```\n[not a link](docs/NOPE.md)\n```\n",
+            })
+            self.assertEqual(check_docs.check_links(root), [])
+
+    def test_external_and_inpage_links_are_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[w](https://example.org) [a](#local)\n",
+            })
+            self.assertEqual(check_docs.check_links(root), [])
+
+
+class CheckOrphansTest(unittest.TestCase):
+    def test_doc_linked_from_readme_is_reachable(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[guide](docs/GUIDE.md)\n",
+                "docs/GUIDE.md": "content\n",
+            })
+            self.assertEqual(check_docs.check_orphans(root), [])
+
+    def test_transitively_linked_doc_is_reachable(self):
+        # README -> A -> B: B has no direct README link but is NOT an orphan.
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[a](docs/A.md)\n",
+                "docs/A.md": "[b](B.md)\n",
+                "docs/B.md": "leaf\n",
+            })
+            self.assertEqual(check_docs.check_orphans(root), [])
+
+    def test_unlinked_doc_is_an_orphan(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "no links here\n",
+                "docs/LOST.md": "nobody links to me\n",
+            })
+            errors = check_docs.check_orphans(root)
+            self.assertEqual(len(errors), 1)
+            self.assertIn("docs/LOST.md", errors[0])
+            self.assertIn("orphan", errors[0])
+
+    def test_link_only_inside_fence_still_orphans(self):
+        # A fenced "link" is not a real link, so the target stays orphaned.
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "```\n[x](docs/FENCED.md)\n```\n",
+                "docs/FENCED.md": "content\n",
+            })
+            errors = check_docs.check_orphans(root)
+            self.assertEqual(len(errors), 1)
+            self.assertIn("docs/FENCED.md", errors[0])
+
+    def test_link_cycles_terminate(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[a](docs/A.md)\n",
+                "docs/A.md": "[b](B.md)\n",
+                "docs/B.md": "[a again](A.md)\n",
+            })
+            self.assertEqual(check_docs.check_orphans(root), [])
+
+
+class RepoSelfCheck(unittest.TestCase):
+    def test_this_repository_passes_both_gates(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        self.assertEqual(check_docs.check_links(root), [])
+        self.assertEqual(check_docs.check_orphans(root), [])
+
+
+if __name__ == "__main__":
+    unittest.main()
