@@ -1,0 +1,392 @@
+// E17 -- conservative parallel DES: the sharded packet simulator vs the
+// single-calendar engine (docs/PARALLEL.md).
+//
+//   (1) Engine equivalence, exact: with one shard the sharded simulator must
+//       reproduce NetworkSimulator bit for bit -- same RNG split order, same
+//       event order -- plain and under a fault plan.
+//   (2) Engine equivalence, statistical: a genuinely sharded run uses
+//       independent per-shard RNG streams, so it cannot match bitwise; it
+//       must instead reproduce the same steady-state physics. We re-run E8's
+//       two-hop tandem validation on two shards and check the same analytic
+//       bands (Burke downstream queue, additive delay), plus a parking-lot
+//       cross-check against the single-calendar engine.
+//   (3) Determinism: a sharded run is byte-identical at every worker count,
+//       impaired or not, and the compiled fault schedule fires exactly once
+//       across shards.
+//
+// The workloads are independent, so they run as one exec::SweepRunner sweep
+// (--jobs fans them out, stdout stays byte-identical at any value).
+//
+// Claims (exit code 0 iff all pass): see docs/PARALLEL.md and the E17
+// section of EXPERIMENTS.md.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "exec/param_grid.hpp"
+#include "faults/fault_plan.hpp"
+#include "network/builders.hpp"
+#include "network/topology.hpp"
+#include "report/table.hpp"
+#include "repro/experiments.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/parallel_sim.hpp"
+
+namespace ffc::repro {
+
+namespace {
+
+using namespace ffc;
+using report::fmt;
+using report::fmt_bool;
+using report::TextTable;
+
+// The workloads of the sweep, in grid order.
+enum Workload : std::size_t {
+  kBitwisePlain = 0,
+  kBitwiseImpaired = 1,
+  kShardedTandem = 2,
+  kShardedParking = 3,
+  kWorkerIdentity = 4,
+  kImpairedDeterminism = 5,
+  kNumWorkloads = 6,
+};
+
+/// Flattens everything two engine runs must agree on into doubles (delivered
+/// counts are far below 2^53, so the conversion is exact).
+template <typename Sim>
+std::vector<double> engine_fingerprint(const Sim& sim) {
+  std::vector<double> flat;
+  const auto& topo = sim.topology();
+  for (std::size_t i = 0; i < topo.num_connections(); ++i) {
+    flat.push_back(static_cast<double>(sim.delivered(i)));
+    flat.push_back(sim.mean_delay(i));
+    flat.push_back(sim.throughput(i));
+  }
+  for (std::size_t a = 0; a < topo.num_gateways(); ++a) {
+    flat.push_back(sim.mean_total_queue(a));
+  }
+  flat.push_back(static_cast<double>(sim.events_processed()));
+  flat.push_back(static_cast<double>(sim.packets_generated()));
+  return flat;
+}
+
+/// True iff the two halves of `flat` are bitwise-equal doubles.
+bool halves_identical(const std::vector<double>& flat) {
+  const std::size_t half = flat.size() / 2;
+  if (flat.size() != 2 * half) return false;
+  for (std::size_t k = 0; k < half; ++k) {
+    if (flat[k] != flat[half + k]) return false;
+  }
+  return true;
+}
+
+faults::FaultPlan e17_fault_plan() {
+  faults::FaultPlan plan;
+  plan.gateway_faults.push_back({/*gateway=*/0, /*start=*/500.0,
+                                 /*duration=*/300.0, /*factor=*/0.0});
+  plan.gateway_faults.push_back({/*gateway=*/1, /*start=*/1500.0,
+                                 /*duration=*/500.0, /*factor=*/0.5});
+  plan.churn.push_back(
+      {/*connection=*/0, /*leave=*/1000.0, /*rejoin=*/2000.0});
+  return plan;
+}
+
+}  // namespace
+
+void run_e17(ExperimentContext& ctx) {
+  auto& out = ctx.out;
+  out << "== E17: conservative parallel DES vs the single-calendar engine "
+         "==\n";
+
+  // E8's two-hop tandem: mu = {1.0, 0.8}, latencies {0.5, 0.25}, r = 0.4.
+  const network::Topology tandem({{1.0, 0.5}, {0.8, 0.25}},
+                                 {network::Connection{{0, 1}}});
+  const network::Topology parking = network::parking_lot(3, 1, 1.0, 0.25);
+  const std::vector<double> parking_rates = {0.15, 0.2, 0.25, 0.3};
+
+  exec::ParamGrid grid;
+  grid.axis("workload", exec::ParamGrid::linspace(0.0, kNumWorkloads - 1,
+                                                  kNumWorkloads));
+  exec::SweepRunner runner(ctx.sweep);
+  const auto measurements = runner.run(
+      grid,
+      [&](const exec::GridPoint& p, std::uint64_t seed,
+          obs::MetricRegistry& metrics) -> std::vector<double> {
+        switch (p.index()) {
+          case kBitwisePlain: {
+            // One shard must be the single-calendar engine, bit for bit.
+            sim::NetworkSimulator single(
+                network::single_bottleneck(3, 1.0),
+                sim::SimDiscipline::FairShare, seed);
+            sim::ParallelNetworkSimulator sharded(
+                network::single_bottleneck(3, 1.0),
+                sim::SimDiscipline::FairShare, seed,
+                sim::ShardPlan::contiguous(1, 1));
+            single.set_rates({0.1, 0.25, 0.4});
+            sharded.set_rates({0.1, 0.25, 0.4});
+            single.run_for(5000.0);
+            sharded.run_for(5000.0);
+            auto flat = engine_fingerprint(single);
+            const auto other = engine_fingerprint(sharded);
+            flat.insert(flat.end(), other.begin(), other.end());
+            sharded.collect_metrics(metrics);
+            return flat;
+          }
+          case kBitwiseImpaired: {
+            sim::NetworkSimulator single(tandem, sim::SimDiscipline::Fifo,
+                                         seed, e17_fault_plan());
+            sim::ParallelNetworkSimulator sharded(
+                tandem, sim::SimDiscipline::Fifo, seed,
+                sim::ShardPlan::contiguous(2, 1), e17_fault_plan());
+            single.set_rates({0.4});
+            sharded.set_rates({0.4});
+            single.run_for(3000.0);
+            sharded.run_for(3000.0);
+            auto flat = engine_fingerprint(single);
+            const auto other = engine_fingerprint(sharded);
+            flat.insert(flat.end(), other.begin(), other.end());
+            sharded.collect_metrics(metrics);
+            return flat;
+          }
+          case kShardedTandem: {
+            // E8's tandem workload, two shards: same warm-up, horizon, and
+            // measurements, so the same analytic bands apply.
+            sim::ParallelNetworkSimulator netsim(
+                tandem, sim::SimDiscipline::Fifo, seed,
+                sim::ShardPlan::contiguous(2, 2));
+            netsim.set_rates({0.4});
+            netsim.run_for(10000.0);
+            netsim.reset_metrics();
+            netsim.run_for(80000.0);
+            const double q2 = netsim.mean_queue(1, 0);
+            const double d = netsim.mean_delay(0);
+            const double x = netsim.throughput(0);
+            netsim.collect_metrics(metrics);
+            return {q2, d, x, static_cast<double>(netsim.windows()),
+                    static_cast<double>(netsim.handoffs())};
+          }
+          case kShardedParking: {
+            // Three shards vs one calendar on the parking lot, same seed:
+            // independent streams, same steady state.
+            sim::NetworkSimulator single(parking,
+                                         sim::SimDiscipline::FairShare, seed);
+            sim::ParallelNetworkSimulator sharded(
+                parking, sim::SimDiscipline::FairShare, seed,
+                sim::ShardPlan::contiguous(3, 3));
+            single.set_rates(parking_rates);
+            sharded.set_rates(parking_rates);
+            single.run_for(2000.0);
+            sharded.run_for(2000.0);
+            single.reset_metrics();
+            sharded.reset_metrics();
+            single.run_for(20000.0);
+            sharded.run_for(20000.0);
+            std::vector<double> flat;
+            for (std::size_t i = 0; i < parking_rates.size(); ++i) {
+              flat.push_back(sharded.throughput(i));
+            }
+            for (std::size_t a = 0; a < parking.num_gateways(); ++a) {
+              flat.push_back(single.mean_total_queue(a));
+              flat.push_back(sharded.mean_total_queue(a));
+            }
+            sharded.collect_metrics(metrics);
+            return flat;
+          }
+          case kWorkerIdentity: {
+            // jobs is a throughput knob: byte-identical results at 1 and 5.
+            std::vector<double> fingerprints[2];
+            double handoffs = 0.0;
+            for (int v = 0; v < 2; ++v) {
+              sim::ParallelNetworkSimulator netsim(
+                  parking, sim::SimDiscipline::Fifo, seed,
+                  sim::ShardPlan::contiguous(3, 3, v == 0 ? 1 : 5));
+              netsim.set_rates(parking_rates);
+              netsim.run_for(2000.0);
+              fingerprints[v] = engine_fingerprint(netsim);
+              handoffs = static_cast<double>(netsim.handoffs());
+            }
+            auto flat = fingerprints[0];
+            flat.insert(flat.end(), fingerprints[1].begin(),
+                        fingerprints[1].end());
+            flat.push_back(handoffs);  // odd length; checked by the caller
+            return flat;
+          }
+          case kImpairedDeterminism: {
+            // An impaired sharded run stays deterministic across worker
+            // counts, and the schedule fires exactly once across shards.
+            std::vector<double> fingerprints[2];
+            faults::FaultCounters counters;
+            for (int v = 0; v < 2; ++v) {
+              sim::ParallelNetworkSimulator netsim(
+                  tandem, sim::SimDiscipline::Fifo, seed,
+                  sim::ShardPlan::contiguous(2, 2, v == 0 ? 1 : 4),
+                  e17_fault_plan());
+              netsim.set_rates({0.4});
+              netsim.run_for(3000.0);
+              fingerprints[v] = engine_fingerprint(netsim);
+              counters = netsim.fault_counters();
+            }
+            auto flat = fingerprints[0];
+            flat.insert(flat.end(), fingerprints[1].begin(),
+                        fingerprints[1].end());
+            flat.push_back(static_cast<double>(counters.gateway_outages));
+            flat.push_back(static_cast<double>(counters.gateway_degradations));
+            flat.push_back(static_cast<double>(counters.gateway_recoveries));
+            flat.push_back(static_cast<double>(counters.source_leaves));
+            flat.push_back(static_cast<double>(counters.source_joins));
+            return flat;
+          }
+        }
+        return {};
+      });
+  runner.last_report().print(ctx.err);
+  if (!ctx.metrics_out.empty() &&
+      !exec::write_manifest(runner.last_manifest(), ctx.metrics_out)) {
+    ctx.io_error = true;
+    return;
+  }
+
+  // ---- (1) one shard == the single-calendar engine, bitwise ---------------
+  {
+    const bool plain = halves_identical(measurements[kBitwisePlain]);
+    const bool impaired = halves_identical(measurements[kBitwiseImpaired]);
+    TextTable table({"configuration", "quantities compared", "bitwise equal?"});
+    table.set_title("\nOne-shard runs vs NetworkSimulator (same seed)");
+    table.add_row({"single bottleneck, Fair Share",
+                   std::to_string(measurements[kBitwisePlain].size() / 2),
+                   fmt_bool(plain)});
+    table.add_row({"two-hop tandem, FIFO, fault plan",
+                   std::to_string(measurements[kBitwiseImpaired].size() / 2),
+                   fmt_bool(impaired)});
+    table.print(out);
+    ctx.claims.check_true(
+        {"E17", "one_shard_bitwise"},
+        "With one shard the parallel simulator reproduces NetworkSimulator "
+        "bitwise (delivered counts, delays, queues, event counts)",
+        plain);
+    ctx.claims.check_true(
+        {"E17", "one_shard_bitwise_impaired"},
+        "One-shard bitwise equivalence holds under a fault plan (outage, "
+        "degradation, churn)",
+        impaired);
+  }
+
+  // ---- (2a) sharded tandem vs the E8 analytic bands -----------------------
+  {
+    const double q2 = measurements[kShardedTandem][0];
+    const double d = measurements[kShardedTandem][1];
+    const double x = measurements[kShardedTandem][2];
+    const double q2_expected = (0.4 / 0.8) / (1.0 - 0.4 / 0.8);
+    const double d_expected = 0.75 + 1.0 / (1.0 - 0.4) + 1.0 / (0.8 - 0.4);
+    TextTable table({"quantity", "analytic", "two shards", "match?"});
+    table.set_title(
+        "\nE8's two-hop tandem on two shards (r = 0.4, T = 80000, lookahead "
+        "0.5)");
+    table.add_row({"downstream Q", fmt(q2_expected, 4), fmt(q2, 4),
+                   fmt_bool(std::fabs(q2 - q2_expected) <= 0.12)});
+    table.add_row({"one-way delay", fmt(d_expected, 4), fmt(d, 4),
+                   fmt_bool(std::fabs(d - d_expected) <= 0.2)});
+    table.add_row({"throughput", fmt(0.4, 4), fmt(x, 4),
+                   fmt_bool(std::fabs(x - 0.4) <= 0.02)});
+    table.print(out);
+    out << "windows " << fmt(measurements[kShardedTandem][3], 0)
+        << ", cross-shard handoffs "
+        << fmt(measurements[kShardedTandem][4], 0) << "\n";
+    ctx.claims.check_close(
+        {"E17", "sharded_tandem_downstream_queue"},
+        "The two-shard tandem reproduces the Burke downstream-queue "
+        "prediction within E8's band",
+        q2, q2_expected, 0.12);
+    ctx.claims.check_close(
+        {"E17", "sharded_tandem_delay"},
+        "The two-shard tandem reproduces the additive delay prediction "
+        "within E8's band",
+        d, d_expected, 0.2);
+    ctx.claims.check_close({"E17", "sharded_tandem_throughput"},
+                           "The two-shard tandem delivers the offered load",
+                           x, 0.4, 0.02);
+  }
+
+  // ---- (2b) sharded parking lot vs the single-calendar engine -------------
+  {
+    const auto& flat = measurements[kShardedParking];
+    bool throughput_ok = true;
+    for (std::size_t i = 0; i < parking_rates.size(); ++i) {
+      throughput_ok = throughput_ok &&
+                      std::fabs(flat[i] - parking_rates[i]) <=
+                          0.1 * parking_rates[i];
+    }
+    TextTable table({"gateway", "single calendar Q", "three shards Q",
+                     "match?"});
+    table.set_title(
+        "\nParking lot (3 gateways, Fair Share) -- per-gateway mean queue, "
+        "one calendar vs three shards");
+    bool queues_ok = true;
+    for (std::size_t a = 0; a < parking.num_gateways(); ++a) {
+      const double q_single = flat[parking_rates.size() + 2 * a];
+      const double q_sharded = flat[parking_rates.size() + 2 * a + 1];
+      const bool match =
+          std::fabs(q_sharded - q_single) <= 0.15 * q_single + 0.05;
+      queues_ok = queues_ok && match;
+      table.add_row({std::to_string(a), fmt(q_single, 4), fmt(q_sharded, 4),
+                     fmt_bool(match)});
+    }
+    table.print(out);
+    ctx.claims.check_true(
+        {"E17", "sharded_throughput_matches_load"},
+        "Three-shard parking-lot throughput matches the offered load on "
+        "every connection within 10%",
+        throughput_ok);
+    ctx.claims.check_true(
+        {"E17", "sharded_queues_match_single_calendar"},
+        "Three-shard per-gateway mean queues match the single-calendar "
+        "engine within 15% + 0.05 (independent RNG streams)",
+        queues_ok);
+  }
+
+  // ---- (3) determinism ----------------------------------------------------
+  {
+    auto worker = measurements[kWorkerIdentity];
+    const double handoffs = worker.back();
+    worker.pop_back();
+    const bool worker_identical = halves_identical(worker) && handoffs > 0.0;
+
+    auto impaired = measurements[kImpairedDeterminism];
+    const double joins = impaired.back();         impaired.pop_back();
+    const double leaves = impaired.back();        impaired.pop_back();
+    const double recoveries = impaired.back();    impaired.pop_back();
+    const double degradations = impaired.back();  impaired.pop_back();
+    const double outages = impaired.back();       impaired.pop_back();
+    const bool impaired_identical = halves_identical(impaired);
+    const bool counts_exact = outages == 1.0 && degradations == 1.0 &&
+                              recoveries == 2.0 && leaves == 1.0 &&
+                              joins == 1.0;
+
+    out << "\nworker-count byte identity (jobs 1 vs 5, " << fmt(handoffs, 0)
+        << " handoffs): " << fmt_bool(worker_identical)
+        << "\nimpaired sharded determinism (jobs 1 vs 4): "
+        << fmt_bool(impaired_identical)
+        << "\nfault schedule fired exactly once across shards: "
+        << fmt_bool(counts_exact) << "\n";
+    ctx.claims.check_true(
+        {"E17", "worker_count_byte_identity"},
+        "A three-shard run is byte-identical at every worker count (jobs "
+        "drives threads, never results)",
+        worker_identical);
+    ctx.claims.check_true(
+        {"E17", "impaired_sharded_deterministic"},
+        "An impaired sharded run is byte-identical across worker counts",
+        impaired_identical);
+    ctx.claims.check_true(
+        {"E17", "fault_schedule_fires_once"},
+        "Across shards the compiled fault schedule fires exactly once per "
+        "action (1 outage, 1 degradation, 2 recoveries, 1 leave, 1 rejoin)",
+        counts_exact);
+  }
+
+  out << "\nE17 (parallel DES) reproduced: "
+      << (ctx.claims.all_passed() ? "YES" : "NO") << "\n";
+}
+
+}  // namespace ffc::repro

@@ -42,6 +42,8 @@ const std::vector<ExperimentInfo>& all_experiments() {
        &run_e14},
       {"E15", "Connection churn (join/leave transients)", false, 0, &run_e15},
       {"E16", "Sparse spectral stability at N = 1e5", false, 0, &run_e16},
+      {"E17", "Conservative parallel DES vs the single-calendar engine", true,
+       2026, &run_e17},
   };
   return table;
 }

@@ -1,5 +1,7 @@
 #include "exec/thread_pool.hpp"
 
+#include <utility>
+
 namespace ffc::exec {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -30,6 +32,11 @@ void ThreadPool::post(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 std::size_t ThreadPool::hardware_jobs() {
@@ -38,6 +45,18 @@ std::size_t ThreadPool::hardware_jobs() {
 }
 
 void ThreadPool::worker_loop() {
+  // Decrements active_ on every exit path from a task, including unwind:
+  // without this, a throwing task would leave active_ stuck nonzero and
+  // wait_idle() would hang forever even if the exception were contained.
+  struct ActiveGuard {
+    ThreadPool& pool;
+    ~ActiveGuard() {
+      std::lock_guard<std::mutex> lock(pool.mutex_);
+      --pool.active_;
+      if (pool.queue_.empty() && pool.active_ == 0) pool.idle_.notify_all();
+    }
+  };
+
   for (;;) {
     std::function<void()> task;
     {
@@ -50,11 +69,17 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      ActiveGuard guard{*this};
+      try {
+        task();
+      } catch (...) {
+        // A task escaping here would std::terminate the process (worker
+        // threads have no handler above this frame). Keep the worker alive
+        // and surface the first failure at the next wait_idle().
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
     }
   }
 }

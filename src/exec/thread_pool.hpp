@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
@@ -31,7 +32,11 @@ namespace ffc::exec {
 /// before destruction runs to completion before the workers exit, so a
 /// scope-exit is a synchronization point. Exceptions thrown by a task are
 /// captured in the std::future returned by submit(); they never unwind a
-/// worker thread.
+/// worker thread. Tasks enqueued through the future-less post() may throw
+/// too: the worker catches the exception, stays alive, and the FIRST such
+/// exception is rethrown from the next wait_idle() (later ones are
+/// dropped; the destructor discards a pending exception silently, since
+/// destructors must not throw).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers. A request for 0 threads is clamped to 1.
@@ -57,9 +62,17 @@ class ThreadPool {
     return future;
   }
 
-  /// Blocks until the queue is empty and no task is executing. (Tasks
-  /// submitted concurrently with the wait may of course still be pending
-  /// afterwards; sweeps use the returned futures instead.)
+  /// Enqueues a fire-and-forget task (no future). If the task throws, the
+  /// worker survives and the first captured exception is rethrown from the
+  /// next wait_idle(); callers that need per-task exceptions should use
+  /// submit() instead.
+  void post(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing, then
+  /// rethrows the first exception any post()ed task threw since the last
+  /// wait_idle() (clearing it). Tasks submitted concurrently with the wait
+  /// may of course still be pending afterwards; sweeps use the returned
+  /// futures instead.
   void wait_idle();
 
   /// A sensible default worker count: hardware_concurrency(), clamped to at
@@ -67,10 +80,6 @@ class ThreadPool {
   static std::size_t hardware_jobs();
 
  private:
-  /// Enqueues a type-erased task. The callable must not throw (submit()
-  /// wraps user code in a packaged_task, which satisfies this).
-  void post(std::function<void()> task);
-
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -80,6 +89,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t active_ = 0;     ///< tasks currently executing
   bool stopping_ = false;
+  std::exception_ptr first_error_;  ///< first post()ed-task exception
 };
 
 }  // namespace ffc::exec

@@ -6,9 +6,17 @@
 // warm-up, push/pop cycles are pure index arithmetic (docs/PERFORMANCE.md).
 // push_front exists for preemptive-resume servers that return the running
 // job to the head of its class queue.
+//
+// front() and pop_front() on an empty queue are checked preconditions
+// (std::logic_error), not UB: the index mask is `size() - 1`, which on a
+// never-grown (empty) buffer is SIZE_MAX, so the unchecked forms would
+// silently index garbage and underflow the element count. The check is one
+// predictable compare on the hot path; the servers all test empty() first,
+// so it never fires in a correct run.
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -21,8 +29,14 @@ class RingQueue {
   std::size_t size() const { return count_; }
   std::size_t capacity() const { return buf_.size(); }
 
-  T& front() { return buf_[head_]; }
-  const T& front() const { return buf_[head_]; }
+  T& front() {
+    check_nonempty();
+    return buf_[head_];
+  }
+  const T& front() const {
+    check_nonempty();
+    return buf_[head_];
+  }
 
   void push_back(T value) {
     if (count_ == buf_.size()) grow();
@@ -38,6 +52,7 @@ class RingQueue {
   }
 
   void pop_front() {
+    check_nonempty();
     buf_[head_] = T{};  // release payload resources eagerly
     head_ = wrap(head_ + 1);
     --count_;
@@ -52,6 +67,14 @@ class RingQueue {
   }
 
  private:
+  void check_nonempty() const {
+    if (count_ == 0) {
+      throw std::logic_error("RingQueue: front/pop_front on empty queue");
+    }
+  }
+
+  /// Callers guarantee buf_ is nonempty (push_* grow first; front/pop_front
+  /// are precondition-checked), so the mask `size() - 1` is well defined.
   std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
 
   static std::size_t ceil_pow2(std::size_t n) {

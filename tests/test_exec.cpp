@@ -85,6 +85,62 @@ TEST(ThreadPool, ZeroThreadRequestClampsToOne) {
   EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
 }
 
+// Regression: a throwing post()ed task used to escape worker_loop and call
+// std::terminate, and active_ was not decremented on the unwind path, so
+// wait_idle() would have hung even if the exception had been contained. The
+// fix makes the decrement RAII and routes the first exception to wait_idle().
+TEST(ThreadPool, PostedTaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.post([] { throw std::runtime_error("posted boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The exception is cleared once delivered; the pool stays serviceable.
+  pool.wait_idle();
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, WaitIdleDoesNotHangAfterThrowingTask) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 20; ++i) {
+    pool.post([&counter, i] {
+      if (i == 3) throw std::runtime_error("mid-batch failure");
+      ++counter;
+    });
+  }
+  // Every non-throwing task still runs, active_ reaches 0, and the failure
+  // surfaces here instead of via std::terminate.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 19);
+}
+
+TEST(ThreadPool, OnlyFirstPostedExceptionIsKept) {
+  ThreadPool pool(1);  // one worker: tasks run in post order
+  pool.post([] { throw std::runtime_error("first"); });
+  pool.post([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow the first captured exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  pool.wait_idle();  // the later exception was dropped, not queued
+}
+
+TEST(ThreadPool, DestructorSurvivesPendingThrowingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.post([&counter] {
+        ++counter;
+        throw std::runtime_error("discarded at destruction");
+      });
+    }
+    // No wait_idle: ~ThreadPool drains the queue and must not terminate.
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
 TEST(ThreadPool, WaitIdleBlocksUntilQueueEmpty) {
   std::atomic<int> counter{0};
   ThreadPool pool(2);

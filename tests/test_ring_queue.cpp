@@ -1,0 +1,102 @@
+// RingQueue: the vector-backed circular FIFO behind every server job queue.
+//
+// The dangerous states are "empty" and especially "never grown": the index
+// mask is buf_.size() - 1, which is SIZE_MAX while the buffer is empty, so
+// before the checked preconditions front()/pop_front() silently indexed
+// garbage and --count_ underflowed to SIZE_MAX. These tests pin the checked
+// behavior plus the FIFO/push_front contracts the servers rely on.
+#include "sim/ring_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using ffc::sim::RingQueue;
+
+TEST(RingQueue, NeverGrownQueueRejectsFrontAndPop) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 0u);  // the SIZE_MAX-mask state
+  EXPECT_THROW(q.front(), std::logic_error);
+  EXPECT_THROW(q.pop_front(), std::logic_error);
+  const RingQueue<int>& cq = q;
+  EXPECT_THROW(cq.front(), std::logic_error);
+}
+
+TEST(RingQueue, EmptiedQueueRejectsFrontAndPop) {
+  RingQueue<int> q;
+  q.push_back(7);
+  q.pop_front();
+  ASSERT_TRUE(q.empty());
+  ASSERT_GT(q.capacity(), 0u);  // grown, then drained: the other empty state
+  EXPECT_THROW(q.front(), std::logic_error);
+  EXPECT_THROW(q.pop_front(), std::logic_error);
+  // The failed pop must not have corrupted the count.
+  q.push_back(9);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front(), 9);
+}
+
+TEST(RingQueue, PopOnEmptyDoesNotUnderflowCount) {
+  RingQueue<int> q;
+  EXPECT_THROW(q.pop_front(), std::logic_error);
+  EXPECT_EQ(q.size(), 0u);  // not SIZE_MAX
+  EXPECT_TRUE(q.empty());
+  q.push_back(1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RingQueue, FifoOrderAcrossGrowthAndWraparound) {
+  RingQueue<int> q;
+  // Cycle enough pushes/pops that head_ wraps the (power-of-two) buffer.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 13; ++i) q.push_back(round * 100 + i);
+    for (int i = 0; i < 13; ++i) {
+      EXPECT_EQ(q.front(), round * 100 + i);
+      q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(RingQueue, PushFrontOnNeverGrownQueueGrowsFirst) {
+  RingQueue<int> q;
+  q.push_front(42);  // must grow before computing head_ - 1
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.front(), 42);
+  q.push_front(41);
+  EXPECT_EQ(q.front(), 41);
+  q.pop_front();
+  EXPECT_EQ(q.front(), 42);
+}
+
+TEST(RingQueue, ClearOnEmptyIsANoOp) {
+  RingQueue<std::string> q;
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back("a");
+  q.push_back("b");
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.front(), std::logic_error);
+}
+
+TEST(RingQueue, ReserveKeepsContentsAndOrder) {
+  RingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  q.pop_front();
+  q.pop_front();           // head_ != 0, so reserve must re-linearize
+  q.reserve(64);
+  EXPECT_GE(q.capacity(), 64u);
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
