@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/ffc.hpp"
+#include "spectral/analytic.hpp"
+#include "spectral/operator.hpp"
 #include "spectral/stability.hpp"
 #include "stats/rng.hpp"
 
@@ -177,6 +179,75 @@ void BM_SparseSpectralRadius(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_SparseSpectralRadius)->Arg(10000)->Arg(100000)->Iterations(3);
+// N=10^6 runs the analytic JVP path (Jvp::Auto resolves to the closed-form
+// operator for this differentiable stack): one model evaluation total, every
+// subsequent application a fused pass over the CSR entries.
+BENCHMARK(BM_SparseSpectralRadius)->Arg(1000000)->Iterations(1);
+
+// Jacobian-vector product A/B at the same smooth base point: the
+// closed-form analytic operator (one fused pass over the CSR entries, zero
+// model evaluations) against the central-difference operator (two full
+// model evaluations per application). Same binary, same host, same warm
+// buffers -- the items/s ratio IS the per-application speedup the iterative
+// eigensolver inherits (docs/PERFORMANCE.md BENCH_PR8).
+core::FlowControlModel jvp_bench_model(std::size_t n) {
+  return core::FlowControlModel(
+      network::single_bottleneck(n, static_cast<double>(n)),
+      std::make_shared<queueing::FairShare>(),
+      std::make_shared<core::RationalSignal>(),
+      core::FeedbackStyle::Individual,
+      std::make_shared<core::AdditiveTsi>(0.4, 0.5));
+}
+
+// Distinct rates near the symmetric fixed point: a smooth base (no rate or
+// queue ties), so the analytic operator runs its one-pass fast path -- the
+// configuration the large-N stability claims actually evaluate.
+std::vector<double> jvp_bench_rates(std::size_t n) {
+  std::vector<double> rates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = 0.45 + 0.1 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  return rates;
+}
+
+std::vector<double> jvp_bench_direction(std::size_t n) {
+  stats::Xoshiro256 rng(17);
+  std::vector<double> x(n);
+  for (double& e : x) e = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+void BM_AnalyticJvp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto model = jvp_bench_model(n);
+  const spectral::AnalyticJacobianOperator op(model, jvp_bench_rates(n));
+  const std::vector<double> x = jvp_bench_direction(n);
+  std::vector<double> y(n);
+  op.apply(x, y);  // warm the flat buffers
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AnalyticJvp)->Arg(10000)->Arg(100000)->Iterations(50);
+
+void BM_FdJvp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto model = jvp_bench_model(n);
+  const spectral::ModelJacobianOperator op(model, jvp_bench_rates(n));
+  const std::vector<double> x = jvp_bench_direction(n);
+  std::vector<double> y(n);
+  op.apply(x, y);  // warm the model workspace and probe buffers
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FdJvp)->Arg(10000)->Arg(100000)->Iterations(50);
 
 // Reference-vs-optimized pairs. The *_reference functions are the original
 // O(N^2) formulations kept in-tree for the golden-equivalence tests; these

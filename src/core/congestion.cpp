@@ -110,4 +110,42 @@ void congestion_measures_into(FeedbackStyle style,
   individual_congestion_into(queues, ws, out);
 }
 
+void congestion_jvp_into(FeedbackStyle style, std::span<const double> queues,
+                         std::span<const double> dq, CongestionWorkspace& ws,
+                         std::span<double> dc) {
+  const std::size_t n = queues.size();
+  if (style == FeedbackStyle::Aggregate) {
+    double total = 0.0;
+    for (double d : dq) total += d;
+    for (std::size_t i = 0; i < n; ++i) dc[i] = total;
+    return;
+  }
+
+  // The perturbed sort: queues ascending, exact queue ties broken by dq
+  // (the order Q + h dq assumes for every small h > 0), then by index. For
+  // a tie-free base this is the plain queue argsort.
+  std::vector<std::size_t>& order = ws.order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (queues[a] != queues[b]) return queues[a] < queues[b];
+    if (dq[a] != dq[b]) return dq[a] < dq[b];
+    return a < b;
+  });
+
+  // Differentiating C_i = sum_k min(Q_k, Q_i) in the perturbed order: every
+  // queue sorted strictly before i contributes its own dq_k, and i itself
+  // plus everything sorted after contributes dq_i. Infinite queues sort
+  // last; their measure is pinned (dc = 0) but they still sit strictly
+  // above every finite queue, so they feed dq_i to the finite connections.
+  double prefix = 0.0;  // sum of dq over sorted positions strictly before p
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t i = order[p];
+    dc[i] = std::isinf(queues[i])
+                ? 0.0
+                : prefix + static_cast<double>(n - p) * dq[i];
+    prefix += dq[i];
+  }
+}
+
 }  // namespace ffc::core

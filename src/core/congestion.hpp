@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace ffc::core {
@@ -61,5 +62,22 @@ void congestion_measures_into(FeedbackStyle style,
                               const std::vector<double>& queues,
                               CongestionWorkspace& ws,
                               std::vector<double>& out);
+
+/// Directional derivative of the congestion measures: given the queue
+/// perturbations `dq` (the discipline JVP at the same point), writes
+/// dC_i into `dc` (same size as `queues`). The congestion layer of the
+/// closed-form Jacobian chain rule (docs/THEORY.md section 8):
+///
+///   * aggregate:  dC = sum_k dq_k, replicated to every connection;
+///   * individual: dC_i = sum_{Q_k < Q_i} dq_k + sum_{Q_k >= Q_i} dq_i with
+///     exact queue ties resolved by dq (the order Q + h dq assumes), i.e.
+///     the one-sided derivative of sum_k min(Q_k, Q_i) on its kinks.
+///
+/// A connection with an infinite queue has a pinned (infinite) measure and
+/// gets dc = 0; infinite queues still contribute the FINITE connections'
+/// own dq_i through the min. Unchecked and allocation-free once ws is warm.
+void congestion_jvp_into(FeedbackStyle style, std::span<const double> queues,
+                         std::span<const double> dq, CongestionWorkspace& ws,
+                         std::span<double> dc);
 
 }  // namespace ffc::core

@@ -117,10 +117,12 @@ void FlowControlModel::observe_into(const std::vector<double>& rates,
     discipline_->queue_lengths_into(local, mu, ws.discipline, obs.queues);
     congestion_measures_into(style_, obs.queues, ws.congestion, obs.congestion);
     obs.signals.resize(obs.congestion.size());
-    for (std::size_t k = 0; k < obs.congestion.size(); ++k) {
-      obs.signals[k] = (*signal_)(obs.congestion[k]);
-      ws.signals[offset + k] = obs.signals[k];
-    }
+    // Batch signal application straight into the flat SoA slice: ONE virtual
+    // call per gateway instead of one per connection, so the concrete
+    // signal's contiguous loop vectorizes (tools/check_vectorization.sh).
+    const std::span<double> sig_slice(ws.signals.data() + offset, n_local);
+    signal_->apply_into(obs.congestion, sig_slice);
+    std::copy(sig_slice.begin(), sig_slice.end(), obs.signals.begin());
     discipline_->sojourn_times_into(
         local, mu, obs.queues, ws.discipline,
         std::span<double>(ws.sojourns.data() + offset, n_local));

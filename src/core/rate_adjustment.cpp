@@ -18,6 +18,12 @@ void validate_adjustment_args(double rate, double signal, double delay) {
   }
 }
 
+AdjustmentGradient RateAdjustment::gradient(double /*rate*/, double /*signal*/,
+                                            double /*delay*/) const {
+  throw std::logic_error(
+      "RateAdjustment::gradient: adjuster is not differentiable");
+}
+
 namespace {
 
 void check_eta_beta_tsi(double eta, double beta) {
@@ -41,6 +47,12 @@ double AdditiveTsi::operator()(double rate, double signal,
   return eta_ * (beta_ - signal);
 }
 
+AdjustmentGradient AdditiveTsi::gradient(double rate, double signal,
+                                         double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  return {0.0, -eta_, 0.0};
+}
+
 MultiplicativeTsi::MultiplicativeTsi(double eta, double beta)
     : eta_(eta), beta_(beta) {
   check_eta_beta_tsi(eta, beta);
@@ -52,6 +64,12 @@ double MultiplicativeTsi::operator()(double rate, double signal,
   return eta_ * rate * (beta_ - signal);
 }
 
+AdjustmentGradient MultiplicativeTsi::gradient(double rate, double signal,
+                                               double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  return {eta_ * (beta_ - signal), -eta_ * rate, 0.0};
+}
+
 RateLimd::RateLimd(double eta, double beta) : eta_(eta), beta_(beta) {
   if (!(eta > 0.0) || !(beta > 0.0) || std::isinf(eta) || std::isinf(beta)) {
     throw std::invalid_argument("RateLimd: eta, beta must be positive");
@@ -61,6 +79,12 @@ RateLimd::RateLimd(double eta, double beta) : eta_(eta), beta_(beta) {
 double RateLimd::operator()(double rate, double signal, double delay) const {
   validate_adjustment_args(rate, signal, delay);
   return (1.0 - signal) * eta_ - beta_ * signal * rate;
+}
+
+AdjustmentGradient RateLimd::gradient(double rate, double signal,
+                                      double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  return {-beta_ * signal, -eta_ - beta_ * rate, 0.0};
 }
 
 WindowLimd::WindowLimd(double eta, double beta) : eta_(eta), beta_(beta) {
@@ -76,6 +100,25 @@ double WindowLimd::operator()(double rate, double signal, double delay) const {
           ? (delay == 0.0 ? (1.0 - signal) * eta_ : 0.0)
           : (1.0 - signal) * eta_ / delay;
   return increase - beta_ * signal * rate;
+}
+
+AdjustmentGradient WindowLimd::gradient(double rate, double signal,
+                                        double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  AdjustmentGradient grad;
+  grad.d_rate = -beta_ * signal;
+  if (std::isinf(delay)) {
+    // increase == 0 and stays 0 under any finite perturbation of b or d.
+    grad.d_signal = -beta_ * rate;
+  } else if (delay == 0.0) {
+    // The d == 0 special case (increase = (1-b) eta) is only reached with no
+    // queueing at zero latency; its d-slope is taken as 0 on that branch.
+    grad.d_signal = -eta_ - beta_ * rate;
+  } else {
+    grad.d_signal = -eta_ / delay - beta_ * rate;
+    grad.d_delay = -(1.0 - signal) * eta_ / (delay * delay);
+  }
+  return grad;
 }
 
 FunctionAdjustment::FunctionAdjustment(Fn fn, std::optional<double> b_ss,

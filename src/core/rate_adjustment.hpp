@@ -25,6 +25,15 @@
 
 namespace ffc::core {
 
+/// Partial derivatives of a rate-adjustment increment f(r, b, d) at one
+/// evaluation point -- the adjuster layer's contribution to the closed-form
+/// Jacobian chain rule (docs/THEORY.md section 8).
+struct AdjustmentGradient {
+  double d_rate = 0.0;    ///< df/dr
+  double d_signal = 0.0;  ///< df/db
+  double d_delay = 0.0;   ///< df/dd (0 whenever d is +infinity)
+};
+
 /// Interface for rate-adjustment algorithms.
 class RateAdjustment {
  public:
@@ -34,6 +43,18 @@ class RateAdjustment {
   /// be +infinity when queues diverge).
   virtual double operator()(double rate, double signal, double delay) const
       = 0;
+
+  /// The gradient of f at (rate, signal, delay), under the same argument
+  /// preconditions as operator(). Only meaningful when differentiable();
+  /// the default throws std::logic_error so adapter adjusters (arbitrary
+  /// callables) need not implement it.
+  virtual AdjustmentGradient gradient(double rate, double signal,
+                                      double delay) const;
+
+  /// True iff gradient() returns the exact partial derivatives everywhere in
+  /// the argument domain's interior. False by default (FunctionAdjustment
+  /// wraps opaque callables); the four closed-form families override it.
+  virtual bool differentiable() const { return false; }
 
   /// The steady-state signal b_ss if this adjuster is TSI (Theorem 1);
   /// nullopt otherwise.
@@ -51,6 +72,9 @@ class AdditiveTsi final : public RateAdjustment {
   /// Requires eta > 0 and beta in (0, 1).
   AdditiveTsi(double eta, double beta);
   double operator()(double rate, double signal, double delay) const override;
+  AdjustmentGradient gradient(double rate, double signal,
+                              double delay) const override;
+  bool differentiable() const override { return true; }
   std::optional<double> steady_signal() const override { return beta_; }
   std::string_view name() const override { return "eta(beta-b)"; }
   double eta() const { return eta_; }
@@ -69,6 +93,9 @@ class MultiplicativeTsi final : public RateAdjustment {
   /// Requires eta > 0 and beta in (0, 1).
   MultiplicativeTsi(double eta, double beta);
   double operator()(double rate, double signal, double delay) const override;
+  AdjustmentGradient gradient(double rate, double signal,
+                              double delay) const override;
+  bool differentiable() const override { return true; }
   std::optional<double> steady_signal() const override { return beta_; }
   std::string_view name() const override { return "eta*r(beta-b)"; }
   double eta() const { return eta_; }
@@ -88,6 +115,9 @@ class RateLimd final : public RateAdjustment {
   /// Requires eta > 0 and beta > 0.
   RateLimd(double eta, double beta);
   double operator()(double rate, double signal, double delay) const override;
+  AdjustmentGradient gradient(double rate, double signal,
+                              double delay) const override;
+  bool differentiable() const override { return true; }
   std::string_view name() const override { return "(1-b)eta-beta*b*r"; }
   double eta() const { return eta_; }
   double beta() const { return beta_; }
@@ -105,6 +135,9 @@ class WindowLimd final : public RateAdjustment {
   /// Requires eta > 0 and beta > 0.
   WindowLimd(double eta, double beta);
   double operator()(double rate, double signal, double delay) const override;
+  AdjustmentGradient gradient(double rate, double signal,
+                              double delay) const override;
+  bool differentiable() const override { return true; }
   std::string_view name() const override { return "(1-b)eta/d-beta*b*r"; }
 
  private:

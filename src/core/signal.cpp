@@ -36,6 +36,21 @@ double RationalSignal::inverse(double signal) const {
   return signal / (1.0 - signal);
 }
 
+double RationalSignal::derivative(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 0.0;
+  const double denom = 1.0 + congestion;
+  return 1.0 / (denom * denom);
+}
+
+void RationalSignal::apply_into(std::span<const double> congestion,
+                                std::span<double> out) const {
+  for (std::size_t i = 0; i < congestion.size(); ++i) {
+    const double c = congestion[i];
+    out[i] = std::isinf(c) ? 1.0 : c / (1.0 + c);
+  }
+}
+
 double QuadraticSignal::operator()(double congestion) const {
   check_congestion(congestion);
   if (std::isinf(congestion)) return 1.0;
@@ -48,6 +63,22 @@ double QuadraticSignal::inverse(double signal) const {
   if (signal == 1.0) return kInf;
   const double root = std::sqrt(signal);
   return root / (1.0 - root);
+}
+
+double QuadraticSignal::derivative(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 0.0;
+  const double denom = 1.0 + congestion;
+  return 2.0 * congestion / (denom * denom * denom);
+}
+
+void QuadraticSignal::apply_into(std::span<const double> congestion,
+                                 std::span<double> out) const {
+  for (std::size_t i = 0; i < congestion.size(); ++i) {
+    const double c = congestion[i];
+    const double ratio = c / (1.0 + c);
+    out[i] = std::isinf(c) ? 1.0 : ratio * ratio;
+  }
 }
 
 ExponentialSignal::ExponentialSignal(double k) : k_(k) {
@@ -66,6 +97,20 @@ double ExponentialSignal::inverse(double signal) const {
   check_signal(signal);
   if (signal == 1.0) return kInf;
   return -std::log1p(-signal) / k_;
+}
+
+double ExponentialSignal::derivative(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 0.0;
+  return k_ * std::exp(-k_ * congestion);
+}
+
+void ExponentialSignal::apply_into(std::span<const double> congestion,
+                                   std::span<double> out) const {
+  for (std::size_t i = 0; i < congestion.size(); ++i) {
+    const double c = congestion[i];
+    out[i] = std::isinf(c) ? 1.0 : -std::expm1(-k_ * c);
+  }
 }
 
 PowerSignal::PowerSignal(double p) : p_(p) {
@@ -88,6 +133,16 @@ double PowerSignal::inverse(double signal) const {
   return root / (1.0 - root);
 }
 
+double PowerSignal::derivative(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 0.0;
+  // d/dC (C/(1+C))^p = p C^{p-1} / (1+C)^{p+1}. For p < 1 the slope
+  // diverges as C -> 0+ (pow(0, negative) = +infinity), which is the true
+  // one-sided limit.
+  const double denom = 1.0 + congestion;
+  return p_ * std::pow(congestion / denom, p_ - 1.0) / (denom * denom);
+}
+
 BinarySignal::BinarySignal(double threshold) : threshold_(threshold) {
   if (!(threshold > 0.0) || std::isinf(threshold)) {
     throw std::invalid_argument("BinarySignal: threshold must be positive");
@@ -104,6 +159,11 @@ double BinarySignal::inverse(double signal) const {
   if (signal == 0.0) return 0.0;
   if (signal == 1.0) return kInf;
   return threshold_;
+}
+
+double BinarySignal::derivative(double congestion) const {
+  check_congestion(congestion);
+  return 0.0;
 }
 
 }  // namespace ffc::core

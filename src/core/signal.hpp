@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string_view>
 
 namespace ffc::core {
@@ -25,6 +26,30 @@ class SignalFunction {
   /// [0, 1); returns +infinity for b == 1.
   virtual double inverse(double signal) const = 0;
 
+  /// B'(C), the slope of the signalling function. Requires C >= 0; returns 0
+  /// at C = +infinity (every admissible B saturates at 1). Only meaningful
+  /// when differentiable() -- the analytic Jacobian operator
+  /// (spectral/analytic.hpp) consumes this for the closed-form DF(r) chain
+  /// rule (docs/THEORY.md section 8).
+  virtual double derivative(double congestion) const = 0;
+
+  /// True iff derivative() returns the exact slope everywhere on [0, inf).
+  /// BinarySignal is the one family that is not (it is a step function);
+  /// callers needing DF must fall back to finite differences for it.
+  virtual bool differentiable() const { return true; }
+
+  /// Batch evaluation out[i] = B(in[i]) over already-validated congestion
+  /// values (the model's observe path guarantees >= 0). The default loops
+  /// operator(); the closed-form families override it with branch-light
+  /// contiguous loops the autovectorizer handles, removing one virtual call
+  /// per incidence entry from the observe hot path (docs/SCALING.md).
+  virtual void apply_into(std::span<const double> congestion,
+                          std::span<double> out) const {
+    for (std::size_t i = 0; i < congestion.size(); ++i) {
+      out[i] = (*this)(congestion[i]);
+    }
+  }
+
   virtual std::string_view name() const = 0;
 };
 
@@ -34,6 +59,9 @@ class RationalSignal final : public SignalFunction {
  public:
   double operator()(double congestion) const override;
   double inverse(double signal) const override;
+  double derivative(double congestion) const override;  ///< 1/(1+C)^2
+  void apply_into(std::span<const double> congestion,
+                  std::span<double> out) const override;
   std::string_view name() const override { return "C/(1+C)"; }
 };
 
@@ -44,6 +72,9 @@ class QuadraticSignal final : public SignalFunction {
  public:
   double operator()(double congestion) const override;
   double inverse(double signal) const override;
+  double derivative(double congestion) const override;  ///< 2C/(1+C)^3
+  void apply_into(std::span<const double> congestion,
+                  std::span<double> out) const override;
   std::string_view name() const override { return "(C/(1+C))^2"; }
 };
 
@@ -54,6 +85,9 @@ class ExponentialSignal final : public SignalFunction {
   explicit ExponentialSignal(double k);
   double operator()(double congestion) const override;
   double inverse(double signal) const override;
+  double derivative(double congestion) const override;  ///< k exp(-kC)
+  void apply_into(std::span<const double> congestion,
+                  std::span<double> out) const override;
   std::string_view name() const override { return "1-exp(-kC)"; }
   double k() const { return k_; }
 
@@ -69,6 +103,7 @@ class PowerSignal final : public SignalFunction {
   explicit PowerSignal(double p);
   double operator()(double congestion) const override;
   double inverse(double signal) const override;
+  double derivative(double congestion) const override;  ///< pC^{p-1}/(1+C)^{p+1}
   std::string_view name() const override { return "(C/(1+C))^p"; }
   double p() const { return p_; }
 
@@ -93,6 +128,11 @@ class BinarySignal final : public SignalFunction {
   explicit BinarySignal(double threshold);
   double operator()(double congestion) const override;
   double inverse(double signal) const override;
+  /// Zero almost everywhere -- but the step at the threshold makes the
+  /// function non-differentiable, so differentiable() is false and the
+  /// analytic Jacobian path declines this signal.
+  double derivative(double congestion) const override;
+  bool differentiable() const override { return false; }
   std::string_view name() const override { return "1{C>=C*}"; }
   double threshold() const { return threshold_; }
 

@@ -1,5 +1,6 @@
 #include "network/csr.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "network/topology.hpp"
@@ -48,10 +49,18 @@ void gather_by_gateway_into(const CsrIncidence& csr,
                             std::vector<double>& flat) {
   const std::size_t entries = csr.num_entries();
   flat.resize(entries);
-  const std::size_t num_conn = csr.num_connections();
-  for (ConnectionId i = 0; i < num_conn; ++i) {
-    const double value = per_connection[i];
-    for (std::size_t slot : csr.slots(i)) flat[slot] = value;
+  // One contiguous stream over the E slots via the slot -> connection map:
+  // unit-stride store, gather load, no inner slot-list loop. This is the
+  // form the compiler turns into vector gathers where the ISA has them
+  // (-march=native / FFC_NATIVE) and a tight scalar stream otherwise --
+  // either way it beats the per-connection scatter, whose slot lists made
+  // every iteration a dependent double indirection.
+  const std::span<const ConnectionId> slot_conn = csr.slot_connections();
+  const ConnectionId* conn = slot_conn.data();
+  double* out = flat.data();
+  const double* src = per_connection.data();
+  for (std::size_t e = 0; e < entries; ++e) {
+    out[e] = src[conn[e]];
   }
 }
 
@@ -62,9 +71,11 @@ void reduce_max_over_paths_into(const CsrIncidence& csr,
   per_connection.resize(num_conn);
   for (ConnectionId i = 0; i < num_conn; ++i) {
     const auto slots = csr.slots(i);
+    // Branch-free running max: std::max compiles to maxsd/vmaxpd instead of
+    // a compare-and-branch per hop (NaN-free by the model's invariants).
     double best = flat[slots.front()];
     for (std::size_t h = 1; h < slots.size(); ++h) {
-      if (flat[slots[h]] > best) best = flat[slots[h]];
+      best = std::max(best, flat[slots[h]]);
     }
     per_connection[i] = best;
   }

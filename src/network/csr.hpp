@@ -83,6 +83,11 @@ class CsrIncidence {
   /// Start of gateway a's slice in a flat gateway-major SoA buffer.
   std::size_t gateway_offset(GatewayId a) const { return gw_row_[a]; }
 
+  /// The connection id occupying each flat gateway-major slot, for all E
+  /// slots -- the slot -> connection map the SoA gather/scatter kernels walk
+  /// as ONE contiguous loop instead of per-connection slot lists.
+  std::span<const ConnectionId> slot_connections() const { return gw_conn_; }
+
  private:
   std::vector<std::size_t> gw_row_;      ///< num_gateways + 1 offsets
   std::vector<ConnectionId> gw_conn_;    ///< E entries, ascending per row

@@ -46,6 +46,15 @@ void validate_rates(std::span<const double> rates, double mu) {
   }
 }
 
+void ServiceDiscipline::queue_lengths_jvp_into(
+    std::span<const double> /*rates*/, double /*mu*/,
+    std::span<const double> /*queues*/, std::span<const double> /*dx*/,
+    DisciplineWorkspace& /*ws*/, std::span<double> /*dq*/) const {
+  throw std::logic_error(
+      "ServiceDiscipline::queue_lengths_jvp_into: discipline is not "
+      "differentiable");
+}
+
 void ServiceDiscipline::sojourn_times_into(std::span<const double> rates,
                                            double mu,
                                            std::span<const double> queues,

@@ -63,6 +63,40 @@ class ServiceDiscipline {
   std::vector<double> queue_lengths(const std::vector<double>& rates,
                                     double mu) const;
 
+  /// Directional derivative of the queue-length map: writes
+  ///
+  ///   dq = lim_{h->0+} [Q(rates + h dx) - Q(rates)] / h
+  ///
+  /// into `dq` (same size and order as `rates`). This is the discipline
+  /// layer of the closed-form Jacobian chain rule (docs/THEORY.md section
+  /// 8): where Q is smooth the result is the exact Jacobian action DQ(r) dx,
+  /// and at rate ties -- where a sorted discipline sits on a kink -- the
+  /// one-sided limit is taken in the PERTURBED order (ties resolved by dx),
+  /// so that the caller's two-sided average (spectral/analytic.hpp)
+  /// reproduces the central-difference limit exactly.
+  ///
+  /// `queues` must be the output of queue_lengths_into at the same
+  /// (rates, mu); saturated connections (infinite queue) get dq = 0, the
+  /// correct one-sided slope of a locally pinned observable. Only meaningful
+  /// when differentiable(); the default throws std::logic_error.
+  ///
+  /// UNCHECKED fast path: same preconditions as queue_lengths_into, plus
+  /// finite dx. Must not allocate once the workspace is warm.
+  virtual void queue_lengths_jvp_into(std::span<const double> rates, double mu,
+                                      std::span<const double> queues,
+                                      std::span<const double> dx,
+                                      DisciplineWorkspace& ws,
+                                      std::span<double> dq) const;
+
+  /// True iff queue_lengths_jvp_into returns the exact (one-sided)
+  /// derivative everywhere in the preconditions' domain.
+  virtual bool differentiable() const { return false; }
+
+  /// True iff the queue map has kinks at exact rate ties (sorted disciplines
+  /// like FairShare). Tie-free base points of tie-insensitive disciplines
+  /// admit the single-pass smooth JVP path (spectral/analytic.hpp).
+  virtual bool jvp_tie_sensitive() const { return false; }
+
   /// Human-readable name ("FIFO", "FairShare", ...).
   virtual std::string_view name() const = 0;
 

@@ -141,6 +141,52 @@ void FairShare::queue_lengths_into(std::span<const double> rates, double mu,
   }
 }
 
+void FairShare::queue_lengths_jvp_into(std::span<const double> rates,
+                                       double mu,
+                                       std::span<const double> queues,
+                                       std::span<const double> dx,
+                                       DisciplineWorkspace& ws,
+                                       std::span<double> dq) const {
+  const std::size_t n = rates.size();
+  if (n == 0) return;
+
+  // The perturbed sort: rates ascending, exact rate ties broken by dx (the
+  // order r + h dx assumes for every small h > 0), then by index. For a
+  // tie-free base this is the plain rate sort, so the direction does not
+  // change the permutation and repeated applications stay cache-friendly.
+  std::vector<std::size_t>& order = ws.order;
+  order.resize(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rates[a] != rates[b]) return rates[a] < rates[b];
+    if (dx[a] != dx[b]) return dx[a] < dx[b];
+    return a < b;
+  });
+
+  double prefix_rate = 0.0;  // sum of sorted rates up to and including p
+  double prefix_dx = 0.0;    // sum of sorted dx up to and including p
+  double prefix_dq = 0.0;    // sum of dQ over finite sorted positions < p
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t i = order[p];
+    prefix_rate += rates[i];
+    prefix_dx += dx[i];
+    if (std::isinf(queues[i])) {
+      // Saturated suffix: the queue is pinned at +infinity on both sides of
+      // the perturbation, so its one-sided slope is 0 (and it contributes
+      // nothing to later prefix sums, matching the base recursion's break).
+      dq[i] = 0.0;
+      continue;
+    }
+    const double remaining = static_cast<double>(n - 1 - p);
+    const double sigma = (prefix_rate + remaining * rates[i]) / mu;
+    const double dsigma = (prefix_dx + remaining * dx[i]) / mu;
+    const double value =
+        (g_prime(sigma) * dsigma - prefix_dq) / static_cast<double>(n - p);
+    dq[i] = value;
+    prefix_dq += value;
+  }
+}
+
 FairShareDecomposition FairShare::decompose(const std::vector<double>& rates) {
   for (double r : rates) {
     if (!(r >= 0.0) || std::isinf(r)) {

@@ -50,6 +50,28 @@ class FairShare final : public ServiceDiscipline {
   void queue_lengths_into(std::span<const double> rates, double mu,
                           DisciplineWorkspace& ws,
                           std::vector<double>& out) const override;
+
+  /// Closed-form directional derivative of the queue recursion. Sorting by
+  /// (rate, dx, index) resolves exact rate ties the way an infinitesimal
+  /// step h dx would break them, so the one-sided limit is exact on the
+  /// recursion's MIN/MAX kinks; differentiating the recursion gives, in
+  /// sorted positions p with prefix sums over the same order,
+  ///
+  ///   dsigma_p = (sum_{k<=p} dx_k + (n-1-p) dx_p) / mu
+  ///   dQ_p     = (g'(sigma_p) dsigma_p - sum_{m<p} dQ_m) / (n - p)
+  ///
+  /// and dQ = 0 on the saturated suffix (sigma >= 1, infinite queues).
+  /// Connections tied in BOTH rate and dx provably receive identical dQ
+  /// through the recursion, so the index tie-break never leaks into values
+  /// (docs/THEORY.md section 8).
+  void queue_lengths_jvp_into(std::span<const double> rates, double mu,
+                              std::span<const double> queues,
+                              std::span<const double> dx,
+                              DisciplineWorkspace& ws,
+                              std::span<double> dq) const override;
+  bool differentiable() const override { return true; }
+  bool jvp_tie_sensitive() const override { return true; }
+
   std::string_view name() const override { return "FairShare"; }
 
   /// Computes the Table-1 priority decomposition for the given rates.

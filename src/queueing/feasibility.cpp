@@ -20,6 +20,13 @@ double g_inverse(double q) {
   return q / (1.0 + q);
 }
 
+double g_prime(double x) {
+  if (x < 0.0) throw std::invalid_argument("g_prime: load must be nonnegative");
+  if (x >= 1.0) return std::numeric_limits<double>::infinity();
+  const double slack = 1.0 - x;
+  return 1.0 / (slack * slack);
+}
+
 FeasibilityReport check_feasibility(const std::vector<double>& r,
                                     const std::vector<double>& q, double mu,
                                     double tol) {

@@ -24,6 +24,12 @@ double g(double x);
 /// Throws std::invalid_argument for q < 0.
 double g_inverse(double q);
 
+/// g'(x) = 1 / (1 - x)^2, the slope of the M/M/1 occupancy in the load.
+/// Returns +infinity for x >= 1; throws std::invalid_argument for x < 0.
+/// The FairShare queue recursion's analytic Jacobian is built on it
+/// (docs/THEORY.md section 8).
+double g_prime(double x);
+
 /// Result of a feasibility check of a per-connection queue vector.
 struct FeasibilityReport {
   bool conservation_ok = false;   ///< sum Q_i == g(rho_total) within tol

@@ -21,11 +21,11 @@ class Fifo final : public ServiceDiscipline {
   void queue_lengths_into(std::span<const double> rates, double mu,
                           DisciplineWorkspace& /*ws*/,
                           std::vector<double>& out) const override {
-    double rho_total = 0.0;
-    for (double r : rates) rho_total += r / mu;
+    double total = 0.0;
+    for (double r : rates) total += r;
 
     out.resize(rates.size());
-    if (rho_total >= 1.0) {
+    if (total >= mu) {
       // Overloaded gateway: every active connection's queue diverges; an
       // idle connection has no packets.
       for (std::size_t i = 0; i < rates.size(); ++i) {
@@ -34,10 +34,44 @@ class Fifo final : public ServiceDiscipline {
       }
       return;
     }
+    // rho_i / (1 - rho_total) == r_i / (mu - total): one shared reciprocal
+    // and a single multiply per connection keeps the loop branch-free and
+    // autovectorizable (pinned by tools/check_vectorization.sh).
+    const double scale = 1.0 / (mu - total);
     for (std::size_t i = 0; i < rates.size(); ++i) {
-      out[i] = (rates[i] / mu) / (1.0 - rho_total);
+      out[i] = rates[i] * scale;
     }
   }
+
+  // DQ dx in closed form. With S = sum_k dx_k and m = mu - sum_k r_k:
+  //
+  //   dQ_i = dx_i / m + r_i S / m^2
+  //
+  // (quotient rule on Q_i = r_i / m). FIFO is linear-plus-shared-scalar, so
+  // there are no kinks at rate ties and the same expression is exact on both
+  // sides of any direction. Saturated gateways (total >= mu) pin every
+  // queue at +infinity or 0, hence dq = 0.
+  void queue_lengths_jvp_into(std::span<const double> rates, double mu,
+                              std::span<const double> /*queues*/,
+                              std::span<const double> dx,
+                              DisciplineWorkspace& /*ws*/,
+                              std::span<double> dq) const override {
+    double total = 0.0;
+    for (double r : rates) total += r;
+    if (total >= mu) {
+      for (std::size_t i = 0; i < dq.size(); ++i) dq[i] = 0.0;
+      return;
+    }
+    double dx_sum = 0.0;
+    for (double d : dx) dx_sum += d;
+    const double inv = 1.0 / (mu - total);
+    const double c2 = dx_sum * inv * inv;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      dq[i] = dx[i] * inv + rates[i] * c2;
+    }
+  }
+
+  bool differentiable() const override { return true; }
 
   std::string_view name() const override { return "FIFO"; }
 };

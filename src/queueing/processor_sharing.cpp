@@ -8,17 +8,41 @@ void ProcessorSharing::queue_lengths_into(std::span<const double> rates,
                                           double mu,
                                           DisciplineWorkspace& /*ws*/,
                                           std::vector<double>& out) const {
-  double rho_total = 0.0;
-  for (double r : rates) rho_total += r / mu;
+  double total = 0.0;
+  for (double r : rates) total += r;
   out.resize(rates.size());
-  if (rho_total >= 1.0) {
+  if (total >= mu) {
     for (std::size_t i = 0; i < rates.size(); ++i) {
       out[i] = rates[i] > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
     }
     return;
   }
+  // Same evaluation order as Fifo::queue_lengths_into so PS stays bitwise
+  // identical to FIFO (ProcessorSharing.MeanOccupancyEqualsFifo pins this).
+  const double scale = 1.0 / (mu - total);
   for (std::size_t i = 0; i < rates.size(); ++i) {
-    out[i] = (rates[i] / mu) / (1.0 - rho_total);
+    out[i] = rates[i] * scale;
+  }
+}
+
+void ProcessorSharing::queue_lengths_jvp_into(std::span<const double> rates,
+                                              double mu,
+                                              std::span<const double> /*queues*/,
+                                              std::span<const double> dx,
+                                              DisciplineWorkspace& /*ws*/,
+                                              std::span<double> dq) const {
+  double total = 0.0;
+  for (double r : rates) total += r;
+  if (total >= mu) {
+    for (std::size_t i = 0; i < dq.size(); ++i) dq[i] = 0.0;
+    return;
+  }
+  double dx_sum = 0.0;
+  for (double d : dx) dx_sum += d;
+  const double inv = 1.0 / (mu - total);
+  const double c2 = dx_sum * inv * inv;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    dq[i] = dx[i] * inv + rates[i] * c2;
   }
 }
 

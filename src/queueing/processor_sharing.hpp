@@ -24,6 +24,13 @@ class ProcessorSharing final : public ServiceDiscipline {
   void queue_lengths_into(std::span<const double> rates, double mu,
                           DisciplineWorkspace& ws,
                           std::vector<double>& out) const override;
+  /// Identical to FIFO's closed form (the queue map is the same function).
+  void queue_lengths_jvp_into(std::span<const double> rates, double mu,
+                              std::span<const double> queues,
+                              std::span<const double> dx,
+                              DisciplineWorkspace& ws,
+                              std::span<double> dq) const override;
+  bool differentiable() const override { return true; }
   std::string_view name() const override { return "ProcessorSharing"; }
 };
 

@@ -1,0 +1,244 @@
+#include "spectral/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <stdexcept>
+
+#include "network/csr.hpp"
+
+namespace ffc::spectral {
+
+namespace {
+
+/// Any exact duplicate among the (finite or infinite) values? The layer JVPs
+/// resolve ties by the direction, which makes the one-sided derivative
+/// direction-dependent -- the operator then needs the two-pass branch
+/// average. Sorts a scratch copy; only runs at (re)construction.
+bool has_duplicates(std::span<const double> values,
+                    std::vector<double>& scratch) {
+  scratch.assign(values.begin(), values.end());
+  std::sort(scratch.begin(), scratch.end());
+  return std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end();
+}
+
+}  // namespace
+
+bool AnalyticJacobianOperator::supported(
+    const core::FlowControlModel& model) {
+  if (!model.signal().differentiable()) return false;
+  if (!model.discipline().differentiable()) return false;
+  for (network::ConnectionId i = 0; i < model.topology().num_connections();
+       ++i) {
+    if (!model.adjuster(i).differentiable()) return false;
+  }
+  return true;
+}
+
+AnalyticJacobianOperator::AnalyticJacobianOperator(
+    const core::FlowControlModel& model, std::vector<double> base_rates)
+    : model_(&model), base_(std::move(base_rates)) {
+  precompute();
+}
+
+void AnalyticJacobianOperator::rebase(std::vector<double> base_rates) {
+  base_ = std::move(base_rates);
+  precompute();
+}
+
+void AnalyticJacobianOperator::precompute() {
+  if (!supported(*model_)) {
+    throw std::invalid_argument(
+        "AnalyticJacobianOperator: a model layer has no closed-form "
+        "derivative (see supported())");
+  }
+  // The checked step validates the base once and leaves every observable
+  // alive in ws_ for the operator's lifetime.
+  model_->step(base_, ws_);
+
+  const network::Topology& topo = model_->topology();
+  const network::CsrIncidence& csr = topo.incidence();
+  const std::size_t num_gw = topo.num_gateways();
+  const std::size_t n = base_.size();
+  const core::NetworkState& st = ws_.state;
+  const core::SignalFunction& sig = model_->signal();
+
+  dsig_coef_.resize(csr.num_entries());
+  for (network::GatewayId a = 0; a < num_gw; ++a) {
+    const std::size_t offset = csr.gateway_offset(a);
+    const std::vector<double>& cong = st.gateways[a].congestion;
+    for (std::size_t k = 0; k < cong.size(); ++k) {
+      dsig_coef_[offset + k] = sig.derivative(cong[k]);
+    }
+  }
+
+  adj_dr_.resize(n);
+  adj_db_.resize(n);
+  adj_dd_.resize(n);
+  status_.resize(n);
+  need_delay_ = false;
+  bool boundary = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::RateAdjustment& adj = model_->adjuster(i);
+    const double b = st.combined_signals[i];
+    const double d = st.delays[i];
+    const core::AdjustmentGradient grad = adj.gradient(base_[i], b, d);
+    adj_dr_[i] = grad.d_rate;
+    adj_db_[i] = grad.d_signal;
+    adj_dd_[i] = grad.d_delay;
+    need_delay_ = need_delay_ || grad.d_delay != 0.0;
+    const double u = base_[i] + adj(base_[i], b, d);
+    status_[i] = u > 0.0 ? Truncation::Active
+                         : (u < 0.0 ? Truncation::Clamped
+                                    : Truncation::Boundary);
+    boundary = boundary || u == 0.0;
+  }
+
+  // Smoothness: one directional pass suffices iff no layer sits on a kink
+  // the direction could tip. Rate ties only matter to tie-sensitive
+  // disciplines (Fair Share's sort); queue ties only to the individual
+  // measure's sort; FIFO + aggregate is smooth even fully tied.
+  bool ties = false;
+  const bool rate_ties_matter = model_->discipline().jvp_tie_sensitive();
+  const bool queue_ties_matter = model_->style() == core::FeedbackStyle::Individual;
+  if (rate_ties_matter || queue_ties_matter) {
+    std::vector<double> scratch;
+    for (network::GatewayId a = 0; a < num_gw && !ties; ++a) {
+      const std::size_t offset = csr.gateway_offset(a);
+      const std::size_t m = csr.fan_in(a);
+      if (rate_ties_matter &&
+          has_duplicates({ws_.local_rates.data() + offset, m}, scratch)) {
+        ties = true;
+      }
+      if (queue_ties_matter &&
+          has_duplicates(st.gateways[a].queues, scratch)) {
+        ties = true;
+      }
+    }
+  }
+  bool multi_bottleneck = false;
+  for (const auto& bset : st.bottlenecks) {
+    multi_bottleneck = multi_bottleneck || bset.size() > 1;
+  }
+  smooth_ = !ties && !multi_bottleneck && !boundary;
+
+  const std::size_t entries = csr.num_entries();
+  dx_flat_.resize(entries);
+  dq_flat_.resize(entries);
+  dc_flat_.resize(entries);
+  dsig_flat_.resize(entries);
+  db_.resize(n);
+  dd_.resize(n);
+  xneg_.resize(n);
+  d_plus_.resize(n);
+  d_minus_.resize(n);
+}
+
+void AnalyticJacobianOperator::directional(const std::vector<double>& x,
+                                           std::vector<double>& out) const {
+  const network::Topology& topo = model_->topology();
+  const network::CsrIncidence& csr = topo.incidence();
+  const std::size_t num_gw = topo.num_gateways();
+  const std::size_t n = base_.size();
+  const core::NetworkState& st = ws_.state;
+
+  network::gather_by_gateway_into(csr, x, dx_flat_);
+
+  // Discipline and congestion layers, gateway by gateway over the flat SoA
+  // slices (same layout as observe_into).
+  for (network::GatewayId a = 0; a < num_gw; ++a) {
+    const std::size_t offset = csr.gateway_offset(a);
+    const std::size_t m = csr.fan_in(a);
+    const std::span<const double> local(ws_.local_rates.data() + offset, m);
+    const std::span<const double> dx(dx_flat_.data() + offset, m);
+    const std::span<double> dq(dq_flat_.data() + offset, m);
+    const std::vector<double>& queues = st.gateways[a].queues;
+    model_->discipline().queue_lengths_jvp_into(
+        local, topo.gateway(a).mu, queues, dx, ws_.discipline, dq);
+    core::congestion_jvp_into(model_->style(), queues, dq, ws_.congestion,
+                              {dc_flat_.data() + offset, m});
+  }
+
+  // Signal layer: db^a = B'(C) dC per entry, branch-free.
+  for (std::size_t e = 0; e < dsig_flat_.size(); ++e) {
+    dsig_flat_[e] = dsig_coef_[e] * dc_flat_[e];
+  }
+
+  // Bottleneck layer: the one-sided derivative of max_a b^a is the max of
+  // the derivatives over the argmax set (every gateway tied at the max).
+  for (network::ConnectionId i = 0; i < n; ++i) {
+    const auto slots = csr.slots(i);
+    const double best = st.combined_signals[i];
+    double v = -std::numeric_limits<double>::infinity();
+    for (std::size_t h = 0; h < slots.size(); ++h) {
+      if (ws_.signals[slots[h]] == best) {
+        v = std::max(v, dsig_flat_[slots[h]]);
+      }
+    }
+    db_[i] = v;
+  }
+
+  // Delay layer (only when some adjuster consumes it): quotient rule on the
+  // per-hop sojourn W = Q / r_i; pinned hops (W = inf at a saturated
+  // gateway) and zero-rate connections contribute slope 0, matching the FD
+  // operator's behaviour at those pinned observables.
+  if (need_delay_) {
+    for (network::ConnectionId i = 0; i < n; ++i) {
+      double sum = 0.0;
+      const double r = base_[i];
+      if (r > 0.0) {
+        const auto slots = csr.slots(i);
+        const double inv = 1.0 / r;
+        for (std::size_t h = 0; h < slots.size(); ++h) {
+          const double w = ws_.sojourns[slots[h]];
+          if (!std::isinf(w)) {
+            sum += (dq_flat_[slots[h]] - w * x[i]) * inv;
+          }
+        }
+      }
+      dd_[i] = sum;
+    }
+  }
+
+  // Adjuster + truncation layers.
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double df = adj_dr_[i] * x[i] + adj_db_[i] * db_[i];
+    if (need_delay_) df += adj_dd_[i] * dd_[i];
+    switch (status_[i]) {
+      case Truncation::Active:
+        out[i] = x[i] + df;
+        break;
+      case Truncation::Clamped:
+        out[i] = 0.0;
+        break;
+      case Truncation::Boundary:
+        out[i] = std::max(0.0, x[i] + df);
+        break;
+    }
+  }
+}
+
+void AnalyticJacobianOperator::apply(const linalg::Vector& x,
+                                     linalg::Vector& y) const {
+  const std::size_t n = base_.size();
+  directional(x, d_plus_);
+  y.resize(n);
+  if (smooth_) {
+    // D is linear at a smooth base point: one pass IS the derivative.
+    std::copy(d_plus_.begin(), d_plus_.end(), y.begin());
+  } else {
+    // Branch average (D(x) - D(-x)) / 2: the central-difference limit on
+    // every kink, e.g. s/2 across the truncation boundary.
+    xneg_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) xneg_[i] = -x[i];
+    directional(xneg_, d_minus_);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = 0.5 * (d_plus_[i] - d_minus_[i]);
+    }
+  }
+  ++applications_;
+}
+
+}  // namespace ffc::spectral

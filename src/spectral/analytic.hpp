@@ -1,0 +1,118 @@
+// Closed-form matrix-free Jacobian-vector products for the flow-control map.
+//
+// The finite-difference operator (spectral/operator.hpp) pays 2 full model
+// evaluations per application and carries an irreducible ~1e-7 relative
+// noise floor from the O(h^2)/roundoff trade-off. This operator computes
+// DF(r) x EXACTLY (to roundoff) in ONE fused pass by chain-ruling through
+// the model's layers (docs/THEORY.md section 8):
+//
+//   rates      dx  = gather(x)                    (CSR scatter, per entry)
+//   discipline dQ  = DQ(r) dx                     (closed form per gateway)
+//   congestion dC  = DC(Q) dQ                     (prefix sums / total)
+//   signal     db^a = B'(C) dC                    (precomputed coefficients)
+//   bottleneck db_i = max over argmax gateways    (one-sided max derivative)
+//   delay      dd_i = sum_a (dQ - W dx_i) / r_i   (quotient rule on W = Q/r)
+//   adjuster   df_i = f_r dx_i + f_b db_i + f_d dd_i   (precomputed gradient)
+//   truncation y_i  = dx_i + df_i, 0, or max(0, .)     (by sign of r + f)
+//
+// The map has MIN/MAX kinks (rate ties inside Fair Share, queue ties inside
+// the individual measure, bottleneck argmax ties, the max(0, .) truncation).
+// Each layer's *_jvp resolves exact ties by the order the perturbed point
+// r + h x assumes, so a single pass D(x) is the exact ONE-SIDED directional
+// derivative. apply() returns the branch average (D(x) - D(-x)) / 2, which
+// equals the central-difference limit the FD operator targets; at smooth
+// base points (no ties anywhere -- detected once at construction) one pass
+// suffices because D is linear there.
+//
+// Cost per application: one pass touches each CSR entry O(1) times plus one
+// O(m log m) sort per tie-sensitive gateway layer -- strictly less work than
+// ONE model evaluation, vs the FD operator's two, with zero step-size noise.
+// The FD operator remains as the independent oracle the property tests pit
+// this operator against (tests/test_spectral.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/model.hpp"
+#include "linalg/sparse_eigen.hpp"
+
+namespace ffc::spectral {
+
+/// LinearOperator computing y = DF(r) x analytically around a fixed base
+/// point. All buffers are preallocated at construction; apply() performs
+/// zero heap allocations (pinned in tests/test_alloc.cpp) and never calls
+/// the model.
+class AnalyticJacobianOperator final : public linalg::LinearOperator {
+ public:
+  /// Validates `base_rates` once by evaluating F(base) through the model's
+  /// checked entry point, then precomputes every layer's local gradient.
+  /// Throws std::invalid_argument if supported(model) is false (a layer
+  /// without a closed-form derivative, e.g. BinarySignal).
+  AnalyticJacobianOperator(const core::FlowControlModel& model,
+                           std::vector<double> base_rates);
+
+  std::size_t dim() const override { return base_.size(); }
+  void apply(const linalg::Vector& x, linalg::Vector& y) const override;
+
+  /// Re-centres the operator at a new base point: re-validates, re-evaluates
+  /// F(base), and rebuilds the precomputed gradients. Buffers are reused, so
+  /// rebasing at the same dimension does not allocate beyond the model's own
+  /// workspace growth.
+  void rebase(std::vector<double> base_rates);
+
+  /// Number of apply() calls so far (each is 1 or 2 directional passes).
+  std::size_t applications() const { return applications_; }
+
+  /// True iff the base point sits on no kink (no rate/queue/bottleneck ties
+  /// that the direction could re-order, no truncation boundary), detected at
+  /// (re)construction. Smooth points take one directional pass per apply;
+  /// non-smooth points take two (the branch average).
+  bool smooth() const { return smooth_; }
+
+  const std::vector<double>& base_rates() const { return base_; }
+
+  /// True iff every layer of `model` exposes a closed-form derivative:
+  /// signal().differentiable(), discipline().differentiable(), and every
+  /// connection's adjuster().differentiable().
+  static bool supported(const core::FlowControlModel& model);
+
+ private:
+  enum class Truncation : unsigned char {
+    Active,    ///< r + f > 0: the max(0, .) is the identity locally
+    Clamped,   ///< r + f < 0: the output is pinned at 0, derivative 0
+    Boundary,  ///< r + f == 0: one-sided max(0, dx + df)
+  };
+
+  void precompute();
+  /// One-sided directional derivative D(x) with ties resolved by x.
+  void directional(const std::vector<double>& x,
+                   std::vector<double>& out) const;
+
+  const core::FlowControlModel* model_;
+  std::vector<double> base_;
+  /// Base evaluation: ws_.state / local_rates / signals / sojourns hold the
+  /// observables at base_ for the operator's lifetime; directional passes
+  /// only consume the discipline/congestion scratch (sort orders).
+  mutable core::ModelWorkspace ws_;
+  std::vector<double> dsig_coef_;  ///< B'(C) per CSR entry (0 where C = inf)
+  std::vector<double> adj_dr_;     ///< adjuster df/dr per connection
+  std::vector<double> adj_db_;     ///< adjuster df/db per connection
+  std::vector<double> adj_dd_;     ///< adjuster df/dd per connection
+  std::vector<Truncation> status_;
+  bool need_delay_ = false;  ///< any adj_dd_ != 0: run the delay layer
+  bool smooth_ = false;
+
+  mutable std::vector<double> dx_flat_;   ///< gathered direction (E)
+  mutable std::vector<double> dq_flat_;   ///< queue JVP (E)
+  mutable std::vector<double> dc_flat_;   ///< congestion JVP (E)
+  mutable std::vector<double> dsig_flat_; ///< signal JVP (E)
+  mutable std::vector<double> db_;        ///< bottleneck JVP (N)
+  mutable std::vector<double> dd_;        ///< delay JVP (N)
+  mutable std::vector<double> xneg_;
+  mutable std::vector<double> d_plus_;
+  mutable std::vector<double> d_minus_;
+  mutable std::size_t applications_ = 0;
+};
+
+}  // namespace ffc::spectral

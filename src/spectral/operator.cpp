@@ -9,9 +9,14 @@ namespace ffc::spectral {
 ModelJacobianOperator::ModelJacobianOperator(
     const core::FlowControlModel& model, std::vector<double> base_rates,
     const JvpOptions& options)
-    : model_(&model), base_(std::move(base_rates)), options_(options) {
+    : model_(&model), options_(options) {
+  rebase(std::move(base_rates));
+}
+
+void ModelJacobianOperator::rebase(std::vector<double> base_rates) {
+  base_ = std::move(base_rates);
   // The checked step validates size/finiteness/sign once for the whole
-  // lifetime of the operator; every probe below differs from base_ by a
+  // lifetime of this base; every probe below differs from base_ by a
   // finite perturbation and can take the unchecked fast path.
   f_base_ = model_->step(base_, ws_);
   double base_inf = 0.0;

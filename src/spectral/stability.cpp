@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/stability.hpp"
 #include "linalg/eigen.hpp"
 #include "queueing/fair_share.hpp"
+#include "spectral/analytic.hpp"
 
 namespace ffc::spectral {
 
@@ -51,7 +53,25 @@ SpectralReport iterative_path(const core::FlowControlModel& model,
   report.used_iterative = true;
   report.triangular_hint = triangular;
 
-  ModelJacobianOperator op(model, rates, options.jvp);
+  // Operator selection: the closed-form analytic JVP whenever every model
+  // layer carries a derivative (Auto), else the central-difference operator.
+  // The analytic operator costs 1 model evaluation total (the base) and has
+  // no step-size noise floor; the FD operator pays 2 evaluations per apply.
+  const bool analytic =
+      options.jvp_mode == SpectralOptions::Jvp::Analytic ||
+      (options.jvp_mode == SpectralOptions::Jvp::Auto &&
+       AnalyticJacobianOperator::supported(model));
+  report.analytic_jvp = analytic;
+  std::optional<AnalyticJacobianOperator> analytic_op;
+  std::optional<ModelJacobianOperator> fd_op;
+  const linalg::LinearOperator* op;
+  if (analytic) {
+    analytic_op.emplace(model, rates);
+    op = &*analytic_op;
+  } else {
+    fd_op.emplace(model, rates, options.jvp);
+    op = &*fd_op;
+  }
   linalg::IterativeEigenOptions eig_opts = options.iterative;
   // Theorem 4 (docs/THEORY.md section 8): individual + FairShare makes DF
   // lower triangular under the sort-by-rate permutation, hence a real
@@ -66,7 +86,7 @@ SpectralReport iterative_path(const core::FlowControlModel& model,
   const std::size_t max_count = 1 + options.max_unit_deflations;
   std::size_t count = 1;
   while (true) {
-    linalg::iterative_eigenvalues_into(op, count, eig_opts, ws, result);
+    linalg::iterative_eigenvalues_into(*op, count, eig_opts, ws, result);
     report.converged = result.converged;
     report.eigenvalues = result.eigenvalues;
     if (!result.converged) break;
@@ -76,7 +96,7 @@ SpectralReport iterative_path(const core::FlowControlModel& model,
         all_unit = false;
       }
     }
-    if (!all_unit || result.eigenvalues.size() >= op.dim() ||
+    if (!all_unit || result.eigenvalues.size() >= op->dim() ||
         count >= max_count) {
       break;
     }
@@ -101,7 +121,7 @@ SpectralReport iterative_path(const core::FlowControlModel& model,
       report.converged && report.spectral_radius < 1.0;
   report.stable_modulo_manifold =
       report.reduced_resolved && report.reduced_spectral_radius < 1.0;
-  report.model_evaluations = op.evaluations();
+  report.model_evaluations = analytic ? 1 : fd_op->evaluations();
   return report;
 }
 

@@ -35,10 +35,13 @@ struct SpectralOptions {
     Iterative,  ///< always matrix-free
   };
   Method method = Method::Auto;
-  /// Auto switches to the iterative path at this connection count. 512 keeps
-  /// the dense path (O(N^3) eigensolve, O(N^2) memory) under ~0.5 s and a
-  /// few MB; see docs/SCALING.md for the crossover measurement.
-  std::size_t dense_threshold = 512;
+  /// Auto switches to the iterative path at this connection count. Retuned
+  /// from 512 to 128 for the analytic JVP operator: the iterative solve now
+  /// costs O(N log N) per application instead of two full model evaluations,
+  /// and overtakes the dense path (2N model evaluations to materialize DF +
+  /// O(N^3) eigensolve) at N = 128 on the reference host; see docs/SCALING.md
+  /// "Dense/iterative crossover" for the measured table.
+  std::size_t dense_threshold = 128;
   /// Eigenvalues whose magnitude is within this of 1 count as steady-state
   /// manifold modes (same convention as core::analyze_stability).
   double manifold_tolerance = 1e-6;
@@ -48,7 +51,15 @@ struct SpectralOptions {
   /// so the hunt must be capped; if the cap is exhausted the report flags
   /// reduced_resolved = false instead of guessing.
   std::size_t max_unit_deflations = 4;
-  JvpOptions jvp;  ///< finite-difference step control
+  /// Which Jacobian-vector operator the iterative path runs on.
+  enum class Jvp {
+    Auto,              ///< analytic when every layer supports it, else FD
+    Analytic,          ///< always AnalyticJacobianOperator (throws if a
+                       ///< layer has no closed-form derivative)
+    FiniteDifference,  ///< always the central-difference ModelJacobianOperator
+  };
+  Jvp jvp_mode = Jvp::Auto;
+  JvpOptions jvp;  ///< finite-difference step control (FD operator only)
   /// Solver budgets and tolerance. The default tolerance sits at the
   /// finite-difference noise floor of the matrix-free operator (~1e-7
   /// relative with the default jvp step): asking the eigensolver for more
@@ -74,8 +85,12 @@ struct SpectralReport {
   /// Theorem-4 structure detected (individual + FairShare): the iterative
   /// solver ran with the real-spectrum hint.
   bool triangular_hint = false;
-  /// Model evaluations spent (dense: 2N+1 column probes; iterative: 2 per
-  /// operator application plus the base evaluation).
+  /// The iterative path ran on the closed-form AnalyticJacobianOperator
+  /// (always false on the dense path).
+  bool analytic_jvp = false;
+  /// Model evaluations spent (dense: 2N+1 column probes; iterative FD: 2
+  /// per operator application plus the base evaluation; iterative analytic:
+  /// 1 -- the base evaluation only).
   std::size_t model_evaluations = 0;
 };
 

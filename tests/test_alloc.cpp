@@ -23,6 +23,7 @@
 #include "network/builders.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/simulator.hpp"
+#include "spectral/analytic.hpp"
 #include "spectral/operator.hpp"
 
 namespace {
@@ -185,6 +186,63 @@ TEST(AllocFree, WarmJacobianOperatorApplyDoesNotAllocate) {
   AllocWindow window;
   sweep();
   EXPECT_EQ(window.count(), 0u);
+}
+
+TEST(AllocFree, WarmAnalyticJacobianApplyDoesNotAllocate) {
+  // The closed-form operator never calls the model after construction; a
+  // warm apply must be pure arithmetic over the preallocated flat buffers.
+  // FairShare + individual is the worst case: BOTH tie-resolving sorts run
+  // (rate order and queue order) and a tied base forces the two-pass branch
+  // average -- all of it in workspace scratch.
+  const std::size_t n = 32;
+  auto model = th::single_gateway_model(n, th::fair_share(),
+                                        FeedbackStyle::Individual);
+  std::vector<double> rates(n, 0.8 / static_cast<double>(n));  // fully tied
+  const ffc::spectral::AnalyticJacobianOperator op(model, rates);
+  ASSERT_FALSE(op.smooth());  // ties: every apply runs both passes
+  std::vector<double> x(n, 0.0), y(n);
+  const auto sweep = [&] {
+    for (std::size_t k = 0; k < n; ++k) {
+      std::fill(x.begin(), x.end(), 0.0);
+      x[k] = k % 2 ? 1.0 : -1.0;
+      op.apply(x, y);
+    }
+  };
+  sweep();  // warm-up: sort scratch inside the shared workspaces materializes
+
+  AllocWindow window;
+  sweep();
+  EXPECT_EQ(window.count(), 0u);
+}
+
+TEST(AllocFree, WarmSpectralSolveOverAnalyticOperatorDoesNotAllocate) {
+  // Same harness as the FD-operator spectral test above, on the analytic
+  // operator: the full warm eigensolve -- every closed-form J.v, projection,
+  // and Rayleigh update -- performs ZERO heap allocations.
+  const std::size_t n = 64;
+  auto model = th::single_gateway_model(n, th::fair_share(),
+                                        FeedbackStyle::Individual, 0.4, 0.5,
+                                        static_cast<double>(n));
+  ModelWorkspace model_ws;
+  ffc::core::FixedPointOptions fp_opts;
+  fp_opts.max_iterations = 2000;
+  const auto fp = ffc::core::solve_fixed_point(
+      model, std::vector<double>(n, 0.4), fp_opts, model_ws);
+  ASSERT_TRUE(fp.converged);
+  const ffc::spectral::AnalyticJacobianOperator op(model, fp.rates);
+  ffc::linalg::IterativeEigenOptions opts;
+  opts.real_spectrum = true;  // Theorem 4: individual + FairShare
+  ffc::linalg::SparseEigenWorkspace ws;
+  ffc::linalg::IterativeEigenResult out;
+  ffc::linalg::iterative_eigenvalues_into(op, 1, opts, ws, out);
+  ASSERT_TRUE(out.converged);
+
+  AllocWindow window;
+  ffc::linalg::iterative_eigenvalues_into(op, 1, opts, ws, out);
+  EXPECT_EQ(window.count(), 0u);
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.applications, 10u);
+  EXPECT_NEAR(out.spectral_radius, 0.8, 1e-6);
 }
 
 TEST(AllocFree, TaggedEventCalendarDoesNotAllocate) {

@@ -1,0 +1,347 @@
+// Analytic Jacobian-vector product tests: the closed-form operator against
+// the finite-difference oracle across disciplines, feedback styles, tied and
+// saturated base points; supported()/fallback dispatch; rebase() on both
+// operators; smoothness detection (docs/THEORY.md section 8).
+//
+// Tolerances: the FD oracle carries its own noise floor (~1e-12/h relative
+// from the O(N)-term load sums, plus O(h^2) truncation -- docs/SCALING.md),
+// so agreement is asserted to 5e-5, comfortably above that floor and far
+// below any structural disagreement a wrong derivative would produce.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/stability.hpp"
+#include "core/steady_state.hpp"
+#include "helpers.hpp"
+#include "network/builders.hpp"
+#include "spectral/analytic.hpp"
+#include "spectral/operator.hpp"
+#include "spectral/stability.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using ffc::core::FeedbackStyle;
+using ffc::spectral::AnalyticJacobianOperator;
+using ffc::spectral::ModelJacobianOperator;
+using ffc::stats::Xoshiro256;
+namespace th = ffc::testing;
+
+constexpr double kFdNoiseTol = 5e-5;
+
+/// Applies both operators to `reps` random directions and asserts agreement
+/// within `tol` on every component.
+void expect_matches_fd(const ffc::core::FlowControlModel& model,
+                       const std::vector<double>& rates, double tol,
+                       const char* what, int reps = 5,
+                       std::uint64_t seed = 20260807) {
+  const AnalyticJacobianOperator analytic(model, rates);
+  const ModelJacobianOperator fd(model, rates);
+  const std::size_t n = rates.size();
+  Xoshiro256 rng(seed);
+  std::vector<double> x(n), ya(n), yf(n);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (auto& e : x) e = rng.uniform(-1.0, 1.0);
+    analytic.apply(x, ya);
+    fd.apply(x, yf);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ya[i], yf[i], tol)
+          << what << ": component " << i << " rep " << rep;
+    }
+  }
+}
+
+TEST(AnalyticJacobianOperator, MatchesDenseJacobianAction) {
+  // Same setup as the FD operator's dense-action test: the analytic action
+  // must land within the dense FD matrix's own discretization error.
+  auto model = th::single_gateway_model(12, th::fifo(),
+                                        FeedbackStyle::Individual);
+  std::vector<double> rates(12);
+  for (std::size_t i = 0; i < 12; ++i) rates[i] = 0.02 + 0.003 * double(i);
+  const ffc::linalg::Matrix df = ffc::core::jacobian(model, rates);
+  const AnalyticJacobianOperator op(model, rates);
+
+  Xoshiro256 rng(7);
+  std::vector<double> x(12), y(12);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (auto& e : x) e = rng.uniform(-1.0, 1.0);
+    op.apply(x, y);
+    const auto exact = df.apply(x);
+    for (std::size_t i = 0; i < 12; ++i) {
+      EXPECT_NEAR(y[i], exact[i], 2e-5) << "component " << i;
+    }
+  }
+  EXPECT_EQ(op.applications(), 5u);
+}
+
+TEST(AnalyticJacobianOperator, AgreesWithFdAcrossDisciplinesAndStyles) {
+  // The full discipline x style matrix at a smooth (tie-free) base point.
+  for (bool fair : {false, true}) {
+    for (auto style : {FeedbackStyle::Aggregate, FeedbackStyle::Individual}) {
+      auto model = th::single_gateway_model(
+          24, fair ? th::fair_share() : th::fifo(), style);
+      std::vector<double> rates(24);
+      for (std::size_t i = 0; i < 24; ++i) {
+        rates[i] = (0.75 / 24.0) * (1.0 + 0.4 * double(i) / 24.0);
+      }
+      const AnalyticJacobianOperator op(model, rates);
+      EXPECT_TRUE(op.smooth()) << "fair=" << fair << " style="
+                               << (style == FeedbackStyle::Individual);
+      expect_matches_fd(model, rates, kFdNoiseTol,
+                        fair ? "fair_share" : "fifo");
+    }
+  }
+}
+
+TEST(AnalyticJacobianOperator, AgreesWithFdOnRandomTopologies) {
+  Xoshiro256 rng(424242);
+  for (int rep = 0; rep < 4; ++rep) {
+    ffc::network::RandomTopologyParams params;
+    params.num_gateways = 5;
+    params.num_connections = 24;
+    params.max_path_length = 3;
+    auto topo = ffc::network::random_topology(rng, params);
+    for (auto style : {FeedbackStyle::Aggregate, FeedbackStyle::Individual}) {
+      auto model = th::make_model(topo, rep % 2 ? th::fair_share() : th::fifo(),
+                                  style);
+      std::vector<double> rates(topo.num_connections());
+      for (auto& r : rates) r = rng.uniform(0.01, 0.08);
+      expect_matches_fd(model, rates, kFdNoiseTol, "random topology", 3,
+                        1000 + std::uint64_t(rep));
+    }
+  }
+}
+
+TEST(AnalyticJacobianOperator, TiedRatesAtFairSteadyState) {
+  // Exact rate ties put every layer on its MIN/MAX kinks; the branch average
+  // (D(x) - D(-x)) / 2 must land on the FD oracle's central difference.
+  for (auto style : {FeedbackStyle::Aggregate, FeedbackStyle::Individual}) {
+    auto model = th::single_gateway_model(48, th::fair_share(), style);
+    const std::vector<double> fair = ffc::core::fair_steady_state(model);
+    const AnalyticJacobianOperator op(model, fair);
+    EXPECT_FALSE(op.smooth());  // tied rates: two-pass branch average
+    expect_matches_fd(model, fair, kFdNoiseTol, "tied fair steady state");
+  }
+}
+
+TEST(AnalyticJacobianOperator, SaturatedGateway) {
+  // rho_total = 1.92: infinite queues, pinned signals. Every observable's
+  // slope is exactly zero, so both operators reduce to the adjuster layer.
+  auto model = th::single_gateway_model(16, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  std::vector<double> rates(16, 0.12);
+  expect_matches_fd(model, rates, 1e-9, "saturated gateway");
+}
+
+TEST(AnalyticJacobianOperator, DelayCoupledWindowAdjuster) {
+  // WindowLimd consumes the round-trip delay: exercises the quotient-rule
+  // delay layer (dd = sum (dQ - W dx_i) / r_i) that TSI models never touch.
+  auto model = ffc::core::FlowControlModel(
+      ffc::network::single_bottleneck(12, 1.0), th::fifo(),
+      th::rational_signal(), FeedbackStyle::Aggregate,
+      std::make_shared<ffc::core::WindowLimd>(0.05, 0.4));
+  std::vector<double> rates(12);
+  for (std::size_t i = 0; i < 12; ++i) rates[i] = 0.02 + 0.004 * double(i);
+  expect_matches_fd(model, rates, kFdNoiseTol, "window limd");
+}
+
+TEST(AnalyticJacobianOperator, ZeroRateBoundaryIsFinite) {
+  // A pinned-at-zero rate forces the FD oracle one-sided (a documented
+  // contract exclusion), so only finiteness is asserted here.
+  auto model = th::single_gateway_model(6, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  std::vector<double> rates(6, 0.05);
+  rates[2] = 0.0;
+  const AnalyticJacobianOperator op(model, rates);
+  std::vector<double> x(6, 1.0), y(6);
+  EXPECT_NO_THROW(op.apply(x, y));
+  for (double v : y) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(AnalyticJacobianOperator, SmoothnessDetectionIsPerLayer) {
+  // Tied rates are only a kink for layers that sort: FIFO + aggregate is
+  // genuinely smooth at a fully tied point (the E16 S2 configuration), while
+  // Fair Share (rate sort) and the individual measure (queue sort) are not.
+  std::vector<double> tied(8, 0.05);
+  const AnalyticJacobianOperator fifo_agg(
+      th::single_gateway_model(8, th::fifo(), FeedbackStyle::Aggregate), tied);
+  EXPECT_TRUE(fifo_agg.smooth());
+  const AnalyticJacobianOperator fair_agg(
+      th::single_gateway_model(8, th::fair_share(), FeedbackStyle::Aggregate),
+      tied);
+  EXPECT_FALSE(fair_agg.smooth());
+  const AnalyticJacobianOperator fifo_ind(
+      th::single_gateway_model(8, th::fifo(), FeedbackStyle::Individual),
+      tied);
+  EXPECT_FALSE(fifo_ind.smooth());
+
+  std::vector<double> distinct(8);
+  for (std::size_t i = 0; i < 8; ++i) distinct[i] = 0.03 + 0.004 * double(i);
+  const AnalyticJacobianOperator fair_distinct(
+      th::single_gateway_model(8, th::fair_share(), FeedbackStyle::Individual),
+      distinct);
+  EXPECT_TRUE(fair_distinct.smooth());
+}
+
+TEST(AnalyticJacobianOperator, UnsupportedLayersDetected) {
+  // BinarySignal has no derivative at its threshold: supported() must say
+  // no, and constructing the operator anyway must throw.
+  auto binary = ffc::core::FlowControlModel(
+      ffc::network::single_bottleneck(8, 1.0), th::fifo(),
+      std::make_shared<ffc::core::BinarySignal>(1.0), FeedbackStyle::Aggregate,
+      std::make_shared<ffc::core::AdditiveTsi>(0.1, 0.5));
+  EXPECT_FALSE(AnalyticJacobianOperator::supported(binary));
+  EXPECT_THROW(AnalyticJacobianOperator(binary, std::vector<double>(8, 0.05)),
+               std::invalid_argument);
+
+  // FunctionAdjustment is an arbitrary callable: no gradient either.
+  auto opaque = ffc::core::FlowControlModel(
+      ffc::network::single_bottleneck(4, 1.0), th::fifo(),
+      th::rational_signal(), FeedbackStyle::Aggregate,
+      std::make_shared<ffc::core::FunctionAdjustment>(
+          [](double, double b, double) { return 0.1 * (0.5 - b); },
+          std::nullopt, "opaque"));
+  EXPECT_FALSE(AnalyticJacobianOperator::supported(opaque));
+
+  auto supported = th::single_gateway_model(4, th::fair_share(),
+                                            FeedbackStyle::Individual);
+  EXPECT_TRUE(AnalyticJacobianOperator::supported(supported));
+}
+
+TEST(AnalyticJacobianOperator, RebaseMatchesFreshOperator) {
+  auto model = th::single_gateway_model(16, th::fair_share(),
+                                        FeedbackStyle::Individual);
+  std::vector<double> first(16), second(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    first[i] = 0.02 + 0.002 * double(i);
+    second[i] = 0.05 - 0.001 * double(i);
+  }
+  AnalyticJacobianOperator rebased(model, first);
+  rebased.rebase(second);
+  const AnalyticJacobianOperator fresh(model, second);
+
+  Xoshiro256 rng(99);
+  std::vector<double> x(16), yr(16), yf(16);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (auto& e : x) e = rng.uniform(-1.0, 1.0);
+    rebased.apply(x, yr);
+    fresh.apply(x, yf);
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_DOUBLE_EQ(yr[i], yf[i]) << "component " << i;
+    }
+  }
+}
+
+TEST(ModelJacobianOperator, RebaseMatchesFreshOperator) {
+  // The FD operator's nominal step is a function of the base; rebase() must
+  // recompute it so a re-centred operator is BITWISE a fresh one (the ctor
+  // used to be the only way to get a correctly sized step).
+  auto model = th::single_gateway_model(12, th::fifo(),
+                                        FeedbackStyle::Aggregate);
+  std::vector<double> first(12, 0.01), second(12);
+  for (std::size_t i = 0; i < 12; ++i) second[i] = 0.05 + 0.002 * double(i);
+
+  ModelJacobianOperator rebased(model, first);
+  rebased.rebase(second);
+  const ModelJacobianOperator fresh(model, second);
+  EXPECT_EQ(rebased.base_rates(), second);
+
+  Xoshiro256 rng(5);
+  std::vector<double> x(12), yr(12), yf(12);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (auto& e : x) e = rng.uniform(-1.0, 1.0);
+    rebased.apply(x, yr);
+    fresh.apply(x, yf);
+    for (std::size_t i = 0; i < 12; ++i) {
+      EXPECT_DOUBLE_EQ(yr[i], yf[i]) << "component " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher integration.
+
+TEST(SpectralStability, AnalyticRadiusMatchesDense) {
+  auto model = th::single_gateway_model(40, th::fair_share(),
+                                        FeedbackStyle::Individual);
+  std::vector<double> rates(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    rates[i] = (0.8 / 40.0) * (1.0 + 0.2 * double(i) / 40.0);
+  }
+  ffc::spectral::SpectralOptions dense_opts;
+  dense_opts.method = ffc::spectral::SpectralOptions::Method::Dense;
+  const auto dense = ffc::spectral::spectral_stability(model, rates, dense_opts);
+  ASSERT_TRUE(dense.converged);
+  EXPECT_FALSE(dense.analytic_jvp);
+
+  ffc::spectral::SpectralOptions iter_opts;
+  iter_opts.method = ffc::spectral::SpectralOptions::Method::Iterative;
+  const auto analytic =
+      ffc::spectral::spectral_stability(model, rates, iter_opts);
+  ASSERT_TRUE(analytic.converged);
+  EXPECT_TRUE(analytic.analytic_jvp);  // Auto resolves to the exact operator
+  EXPECT_EQ(analytic.model_evaluations, 1u);
+  EXPECT_NEAR(analytic.spectral_radius, dense.spectral_radius, 1e-6);
+
+  iter_opts.jvp_mode = ffc::spectral::SpectralOptions::Jvp::FiniteDifference;
+  const auto fd = ffc::spectral::spectral_stability(model, rates, iter_opts);
+  ASSERT_TRUE(fd.converged);
+  EXPECT_FALSE(fd.analytic_jvp);
+  EXPECT_GT(fd.model_evaluations, 1u);
+  EXPECT_NEAR(fd.spectral_radius, dense.spectral_radius, 1e-6);
+}
+
+// Pins the retuned Auto dispatch boundary: with the analytic operator the
+// iterative path overtakes dense at N = 128 (docs/SCALING.md "Dense/iterative
+// crossover"), so Auto must go dense at 127 and iterative-analytic at 128.
+TEST(SpectralStability, AutoDispatchBoundaryIsPinnedAt128) {
+  const ffc::spectral::SpectralOptions defaults;
+  EXPECT_EQ(defaults.dense_threshold, 128u);
+
+  const auto run = [](std::size_t n) {
+    auto model = th::single_gateway_model(n, th::fair_share(),
+                                          FeedbackStyle::Individual);
+    std::vector<double> rates(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rates[i] = (0.45 / static_cast<double>(n)) *
+                 (1.0 + 0.2 * static_cast<double>(i) / static_cast<double>(n));
+    }
+    return ffc::spectral::spectral_stability(model, rates);
+  };
+
+  const auto below = run(defaults.dense_threshold - 1);
+  ASSERT_TRUE(below.converged);
+  EXPECT_FALSE(below.used_iterative);
+  EXPECT_FALSE(below.analytic_jvp);
+
+  const auto at = run(defaults.dense_threshold);
+  ASSERT_TRUE(at.converged);
+  EXPECT_TRUE(at.used_iterative);
+  EXPECT_TRUE(at.analytic_jvp);
+  EXPECT_EQ(at.model_evaluations, 1u);
+}
+
+TEST(SpectralStability, AutoFallsBackToFdWhenUnsupported) {
+  auto binary = ffc::core::FlowControlModel(
+      ffc::network::single_bottleneck(8, 1.0), th::fifo(),
+      std::make_shared<ffc::core::BinarySignal>(1.0), FeedbackStyle::Aggregate,
+      std::make_shared<ffc::core::AdditiveTsi>(0.1, 0.5));
+  std::vector<double> rates(8, 0.05);
+
+  ffc::spectral::SpectralOptions opts;
+  opts.method = ffc::spectral::SpectralOptions::Method::Iterative;
+  const auto report = ffc::spectral::spectral_stability(binary, rates, opts);
+  EXPECT_TRUE(report.used_iterative);
+  EXPECT_FALSE(report.analytic_jvp);  // Auto fell back to the FD operator
+
+  opts.jvp_mode = ffc::spectral::SpectralOptions::Jvp::Analytic;
+  EXPECT_THROW(ffc::spectral::spectral_stability(binary, rates, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
