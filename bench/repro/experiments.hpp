@@ -75,6 +75,7 @@ void run_e14(ExperimentContext& ctx);
 void run_e15(ExperimentContext& ctx);
 void run_e16(ExperimentContext& ctx);
 void run_e17(ExperimentContext& ctx);
+void run_e18(ExperimentContext& ctx);
 
 /// Standalone-binary entry point: looks up `id` in the registry, parses the
 /// sweep CLI when the experiment is sweep-enabled (preserving the historical

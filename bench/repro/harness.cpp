@@ -44,6 +44,8 @@ const std::vector<ExperimentInfo>& all_experiments() {
       {"E16", "Sparse spectral stability at N = 1e5", false, 0, &run_e16},
       {"E17", "Conservative parallel DES vs the single-calendar engine", true,
        2026, &run_e17},
+      {"E18", "Modern protocols (RCP, AIMD) under declarative scenarios",
+       true, 1810, &run_e18},
   };
   return table;
 }

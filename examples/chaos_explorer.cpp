@@ -20,8 +20,12 @@
 
 namespace {
 
+constexpr double kMaxEta = 100.0;
+constexpr std::size_t kMaxN = 1000000;
+
 int usage() {
-  std::cerr << "usage: chaos_explorer [eta>0] [N>0] [beta in (0,1)]\n";
+  std::cerr << "usage: chaos_explorer [eta in (0,100]] [N in 1..1000000] "
+               "[beta in (0,1)]\n";
   return EXIT_FAILURE;
 }
 
@@ -37,7 +41,10 @@ int main(int argc, char** argv) {
   if (argc > 1 && !exec::parse_double(argv[1], eta)) return usage();
   if (argc > 2 && !exec::parse_size(argv[2], n)) return usage();
   if (argc > 3 && !exec::parse_double(argv[3], beta)) return usage();
-  if (eta <= 0 || n == 0 || beta <= 0 || beta >= 1) return usage();
+  if (eta <= 0 || eta > kMaxEta || n == 0 || n > kMaxN || beta <= 0 ||
+      beta >= 1) {
+    return usage();
+  }
 
   std::cout << "symmetric aggregate feedback, B(C) = (C/(1+C))^2, f = eta("
             << beta << " - b), N = " << n << ", eta = " << eta

@@ -17,9 +17,12 @@
 
 namespace {
 
+constexpr std::size_t kMaxHops = 1000;
+constexpr std::size_t kMaxCross = 1000;
+
 int usage() {
-  std::cerr << "usage: parking_lot [hops>0] [cross_per_hop] "
-               "[beta in (0,1)]\n";
+  std::cerr << "usage: parking_lot [hops in 1..1000] "
+               "[cross_per_hop in 0..1000] [beta in (0,1)]\n";
   return EXIT_FAILURE;
 }
 
@@ -35,7 +38,10 @@ int main(int argc, char** argv) {
   if (argc > 1 && !exec::parse_size(argv[1], hops)) return usage();
   if (argc > 2 && !exec::parse_size(argv[2], cross)) return usage();
   if (argc > 3 && !exec::parse_double(argv[3], beta)) return usage();
-  if (hops == 0 || beta <= 0.0 || beta >= 1.0) return usage();
+  if (hops == 0 || hops > kMaxHops || cross > kMaxCross || beta <= 0.0 ||
+      beta >= 1.0) {
+    return usage();
+  }
 
   const auto topo = network::parking_lot(hops, cross, /*mu=*/1.0,
                                          /*latency=*/0.05);

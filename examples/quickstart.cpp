@@ -17,8 +17,10 @@
 
 namespace {
 
+constexpr std::size_t kMaxConnections = 1000000;
+
 int usage() {
-  std::cerr << "usage: quickstart [num_connections>0] [mu>0] "
+  std::cerr << "usage: quickstart [num_connections in 1..1000000] [mu>0] "
                "[beta in (0,1)]\n";
   return EXIT_FAILURE;
 }
@@ -35,7 +37,10 @@ int main(int argc, char** argv) {
   if (argc > 1 && !exec::parse_size(argv[1], n)) return usage();
   if (argc > 2 && !exec::parse_double(argv[2], mu)) return usage();
   if (argc > 3 && !exec::parse_double(argv[3], beta)) return usage();
-  if (n == 0 || mu <= 0.0 || beta <= 0.0 || beta >= 1.0) return usage();
+  if (n == 0 || n > kMaxConnections || mu <= 0.0 || beta <= 0.0 ||
+      beta >= 1.0) {
+    return usage();
+  }
 
   // 1. A network: n connections through one gateway of service rate mu.
   auto topo = network::single_bottleneck(n, mu);

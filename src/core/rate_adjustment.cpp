@@ -1,6 +1,7 @@
 #include "core/rate_adjustment.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -119,6 +120,76 @@ AdjustmentGradient WindowLimd::gradient(double rate, double signal,
     grad.d_delay = -(1.0 - signal) * eta_ / (delay * delay);
   }
   return grad;
+}
+
+RcpAdjustment::RcpAdjustment(double eta, double alpha, double kappa,
+                             double beta)
+    : eta_(eta), alpha_(alpha), kappa_(kappa), beta_(beta) {
+  check_eta_beta_tsi(eta, beta);
+  if (!(alpha > 0.0) || std::isinf(alpha)) {
+    throw std::invalid_argument("RcpAdjustment: alpha must be positive");
+  }
+  if (std::isnan(kappa) || kappa < 0.0 || std::isinf(kappa)) {
+    throw std::invalid_argument(
+        "RcpAdjustment: kappa must be finite and >= 0");
+  }
+  if (kappa == 0.0) {
+    b_ss_ = beta;
+  } else {
+    // alpha (beta - b)(1 - b) = kappa b, i.e.
+    // alpha b^2 - (alpha (1 + beta) + kappa) b + alpha beta = 0; the smaller
+    // root is the one in (0, beta). Citardauq form avoids cancellation.
+    const double s = alpha * (1.0 + beta) + kappa;
+    b_ss_ = 2.0 * alpha * beta / (s + std::sqrt(s * s - 4.0 * alpha * alpha * beta));
+  }
+}
+
+double RcpAdjustment::operator()(double rate, double signal,
+                                 double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  // eta r (...) is 0 at r = 0 even where the queue term q(1) = +infinity
+  // would make 0 * inf a NaN: the limit in r is taken first.
+  if (rate == 0.0) return 0.0;
+  const double queue =
+      signal == 1.0 ? std::numeric_limits<double>::infinity()
+                    : signal / (1.0 - signal);
+  return eta_ * rate * (alpha_ * (beta_ - signal) - kappa_ * queue);
+}
+
+AdjustmentGradient RcpAdjustment::gradient(double rate, double signal,
+                                           double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  const double queue =
+      signal == 1.0 ? std::numeric_limits<double>::infinity()
+                    : signal / (1.0 - signal);
+  const double bracket = alpha_ * (beta_ - signal) - kappa_ * queue;
+  const double one_minus = 1.0 - signal;
+  // d q / d b = 1/(1-b)^2 (the one-sided limit +infinity at b = 1).
+  const double dq =
+      signal == 1.0 ? std::numeric_limits<double>::infinity()
+                    : 1.0 / (one_minus * one_minus);
+  return {eta_ * bracket, eta_ * rate * (-alpha_ - kappa_ * dq), 0.0};
+}
+
+AimdAdjustment::AimdAdjustment(double increase, double decrease,
+                               double threshold)
+    : increase_(increase), decrease_(decrease), threshold_(threshold) {
+  if (!(increase > 0.0) || std::isinf(increase)) {
+    throw std::invalid_argument("AimdAdjustment: increase must be positive");
+  }
+  if (!(decrease > 0.0) || !(decrease <= 1.0)) {
+    throw std::invalid_argument("AimdAdjustment: decrease must be in (0, 1]");
+  }
+  if (!(threshold > 0.0) || !(threshold < 1.0)) {
+    throw std::invalid_argument(
+        "AimdAdjustment: threshold must be in (0, 1)");
+  }
+}
+
+double AimdAdjustment::operator()(double rate, double signal,
+                                  double delay) const {
+  validate_adjustment_args(rate, signal, delay);
+  return signal < threshold_ ? increase_ : -decrease_ * rate;
 }
 
 FunctionAdjustment::FunctionAdjustment(Fn fn, std::optional<double> b_ss,

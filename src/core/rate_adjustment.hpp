@@ -15,6 +15,22 @@
 //   WindowLimd          f = (1-b) eta / d - beta b r  neither TSI nor fair
 //                                                   (latency-sensitive; the
 //                                                   window-based DECbit, §4)
+//   RcpAdjustment       f = eta r (alpha (beta - b) - kappa b/(1-b))
+//                                                   RCP rate-mismatch +
+//                                                   queue-size terms
+//                                                   (arXiv:1810.01411); TSI.
+//                                                   kappa = 0 is the
+//                                                   one-form variant of
+//                                                   arXiv:1906.06153.
+//   AimdAdjustment      f = b < th ? a : -m r       hard TCP-like AIMD
+//                                                   switching; never at a
+//                                                   steady state
+//                                                   (arXiv:0812.1321), so
+//                                                   not TSI and not
+//                                                   differentiable.
+//
+// The modern-protocol equations and their mapping onto the paper's model are
+// documented in docs/PROTOCOLS.md.
 #pragma once
 
 #include <functional>
@@ -143,6 +159,69 @@ class WindowLimd final : public RateAdjustment {
  private:
   double eta_;
   double beta_;
+};
+
+/// Rate Control Protocol, in this paper's coordinates: the RCP controller
+/// r̂ = r (1 + eta (alpha (C - y) - kappa q) / C) combines a rate-mismatch
+/// term and a queue-size term (Voice-Raina, arXiv:1810.01411). With the
+/// signal b standing in for utilization and q(b) = b/(1-b) the steady
+/// queue of the paper's §2.2 gateway model, that becomes
+///
+///   f = eta r (alpha (beta - b) - kappa b/(1-b)),
+///
+/// where beta is the target signal, alpha weights the rate mismatch, and
+/// kappa the queue drain. kappa = 0 recovers the one-form controller whose
+/// sufficiency is the question posed by arXiv:1906.06153. TSI: the bracket
+/// is strictly decreasing in b with a unique root b_ss in (0, beta], so
+/// Theorem 1 applies; b_ss solves alpha (beta - b)(1 - b) = kappa b (a
+/// quadratic, computed in the constructor).
+class RcpAdjustment final : public RateAdjustment {
+ public:
+  /// Requires eta > 0, alpha > 0, kappa >= 0, beta in (0, 1), all finite.
+  RcpAdjustment(double eta, double alpha, double kappa, double beta);
+  double operator()(double rate, double signal, double delay) const override;
+  AdjustmentGradient gradient(double rate, double signal,
+                              double delay) const override;
+  bool differentiable() const override { return true; }
+  std::optional<double> steady_signal() const override { return b_ss_; }
+  std::string_view name() const override {
+    return kappa_ == 0.0 ? "rcp1:eta*r*alpha(beta-b)"
+                         : "rcp:eta*r(alpha(beta-b)-kappa*q)";
+  }
+  double eta() const { return eta_; }
+  double alpha() const { return alpha_; }
+  double kappa() const { return kappa_; }
+  double beta() const { return beta_; }
+
+ private:
+  double eta_;
+  double alpha_;
+  double kappa_;
+  double beta_;
+  double b_ss_;
+};
+
+/// Hard TCP-like additive-increase multiplicative-decrease on the rate:
+/// below the signal threshold increase by a fixed step, at or above it cut
+/// the rate by a fixed fraction. The switching discontinuity means the
+/// source is "either increasing or decreasing at every point" (§1) --
+/// Andrews-Slivkins (arXiv:0812.1321) show such dynamics oscillate
+/// perpetually -- so the adjuster is neither TSI nor differentiable and the
+/// spectral layer falls back to finite differences for it.
+class AimdAdjustment final : public RateAdjustment {
+ public:
+  /// Requires increase > 0 (finite), decrease in (0, 1], threshold in (0, 1).
+  AimdAdjustment(double increase, double decrease, double threshold);
+  double operator()(double rate, double signal, double delay) const override;
+  std::string_view name() const override { return "aimd:b<th?a:-m*r"; }
+  double increase() const { return increase_; }
+  double decrease() const { return decrease_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  double increase_;
+  double decrease_;
+  double threshold_;
 };
 
 /// Adapter wrapping an arbitrary callable; `steady_signal` may be supplied

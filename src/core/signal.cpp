@@ -143,6 +143,56 @@ double PowerSignal::derivative(double congestion) const {
   return p_ * std::pow(congestion / denom, p_ - 1.0) / (denom * denom);
 }
 
+namespace {
+
+// Branch-stable logistic: never exponentiates a positive argument.
+double sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+SmoothStepSignal::SmoothStepSignal(double sharpness, double midpoint)
+    : sharpness_(sharpness), midpoint_(midpoint) {
+  if (!(sharpness > 0.0) || std::isinf(sharpness)) {
+    throw std::invalid_argument(
+        "SmoothStepSignal: sharpness must be positive");
+  }
+  if (!(midpoint > 0.0) || std::isinf(midpoint)) {
+    throw std::invalid_argument(
+        "SmoothStepSignal: midpoint must be positive");
+  }
+  floor_ = sigmoid(-sharpness_ * midpoint_);
+}
+
+double SmoothStepSignal::operator()(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 1.0;
+  const double raw = sigmoid(sharpness_ * (congestion - midpoint_));
+  return (raw - floor_) / (1.0 - floor_);
+}
+
+double SmoothStepSignal::inverse(double signal) const {
+  check_signal(signal);
+  if (signal == 0.0) return 0.0;
+  if (signal == 1.0) return kInf;
+  // b = (sigma(u) - floor)/(1 - floor) with u = k (C - C*); invert the
+  // logistic with a logit. p < 1 is guaranteed for b < 1, but p can round
+  // to 1 at sharp k, where the true preimage exceeds double range anyway.
+  const double p = signal * (1.0 - floor_) + floor_;
+  if (p >= 1.0) return kInf;
+  return midpoint_ + std::log(p / (1.0 - p)) / sharpness_;
+}
+
+double SmoothStepSignal::derivative(double congestion) const {
+  check_congestion(congestion);
+  if (std::isinf(congestion)) return 0.0;
+  const double raw = sigmoid(sharpness_ * (congestion - midpoint_));
+  return sharpness_ * raw * (1.0 - raw) / (1.0 - floor_);
+}
+
 BinarySignal::BinarySignal(double threshold) : threshold_(threshold) {
   if (!(threshold > 0.0) || std::isinf(threshold)) {
     throw std::invalid_argument("BinarySignal: threshold must be positive");

@@ -111,6 +111,30 @@ class PowerSignal final : public SignalFunction {
   double p_;
 };
 
+/// B(C) = (sigma(k (C - C*)) - sigma(-k C*)) / (1 - sigma(-k C*)) with
+/// sigma the logistic function: a smooth, strictly increasing step centred
+/// at C* whose sharpness k interpolates between a gentle admissible signal
+/// and BinarySignal's hard threshold (k -> infinity). Satisfies the paper's
+/// axioms for every finite k -- B(0) = 0, B(inf) = 1, B' > 0 -- which makes
+/// it the tool for studying the AIMD oscillation onset as feedback sharpens
+/// (arXiv:0812.1321; exp_e18, docs/PROTOCOLS.md).
+class SmoothStepSignal final : public SignalFunction {
+ public:
+  /// Requires sharpness > 0 and midpoint > 0, both finite.
+  SmoothStepSignal(double sharpness, double midpoint);
+  double operator()(double congestion) const override;
+  double inverse(double signal) const override;
+  double derivative(double congestion) const override;
+  std::string_view name() const override { return "sigma(k(C-C*))"; }
+  double sharpness() const { return sharpness_; }
+  double midpoint() const { return midpoint_; }
+
+ private:
+  double sharpness_;
+  double midpoint_;
+  double floor_;  ///< sigma(-k C*), subtracted so B(0) = 0 exactly
+};
+
 /// B(C) = 0 for C < threshold, 1 for C >= threshold: the BINARY feedback of
 /// the original DECbit scheme and of Chiu-Jain's model [Chi89, Jai88,
 /// Ram88].

@@ -18,11 +18,12 @@ enum class TakeResult {
 };
 
 /// If `arg` is `--name` returns the next argv entry (consuming it); if it is
-/// `--name=value` returns the value. A following token that itself starts
-/// with "--" is NOT consumed as a value: `--jobs --seed 5` used to eat
-/// `--seed`, send 0 through strtoull ("all hardware threads"), and leave the
-/// real seed behind as an ignored argument -- exactly the silent misparse
-/// this layer exists to refuse.
+/// `--name=value` returns the value. A value that itself starts with "--" is
+/// refused in BOTH forms: `--jobs --seed 5` used to eat `--seed`, send 0
+/// through strtoull ("all hardware threads"), and leave the real seed behind
+/// as an ignored argument, and `--seed=--jobs` used to pass the literal
+/// string `--jobs` through to the numeric parser -- exactly the silent
+/// misparses this layer exists to refuse.
 TakeResult take_flag_value(std::string_view name, int argc, char** argv,
                            int& i, std::string& value) {
   const std::string_view arg = argv[i];
@@ -45,6 +46,11 @@ TakeResult take_flag_value(std::string_view name, int argc, char** argv,
     value = std::string(arg.substr(name.size() + 1));
     if (value.empty()) {
       std::cerr << "error: " << name << "= has an empty value\n";
+      return TakeResult::Error;
+    }
+    if (std::string_view(value).substr(0, 2) == "--") {
+      std::cerr << "error: " << name << " expects a value, got flag '" << value
+                << "'\n";
       return TakeResult::Error;
     }
     return TakeResult::Value;

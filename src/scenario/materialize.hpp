@@ -1,0 +1,76 @@
+// Expands a parsed ScenarioSpec into a sweepable exec::ParamGrid and
+// constructs one concrete FlowControlModel + FaultPlan per grid point.
+//
+// Every axis -- categorical (protocol/discipline/feedback/signal token
+// lists, encoded as label indices) or numeric (topology sizes, fault
+// probabilities, free parameters) -- becomes one ParamGrid axis in the
+// spec's declaration order, so the sweep enumeration order, and therefore
+// every derived per-task seed and output row, is a pure function of the
+// config file (docs/DETERMINISM.md). Defaults for absent fixed dimensions:
+// discipline = fifo, feedback = aggregate, signal = rational.
+//
+// Construction validates eagerly: every categorical combination is checked
+// for the parameters its protocol/signal require, so a config missing, say,
+// `kappa` for `protocol = rcp` fails at load time with a ScenarioError
+// naming the parameter -- not at some arbitrary grid point mid-sweep.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "exec/param_grid.hpp"
+#include "faults/fault_plan.hpp"
+#include "scenario/spec.hpp"
+
+namespace ffc::scenario {
+
+/// One fully-resolved grid cell: the model to analyze, the fault plan to
+/// impair it with, and the resolved choices/values for labelling output.
+struct ScenarioCase {
+  /// Categorical choice per dimension, e.g. {"protocol", "rcp"}.
+  std::vector<std::pair<std::string, std::string>> choices;
+  /// Resolved numeric values (topology + faults + free params), axis
+  /// values included.
+  std::vector<std::pair<std::string, double>> values;
+  core::FlowControlModel model;
+  faults::FaultPlan faults;
+  /// The model's (homogeneous) building blocks, shared so callers can
+  /// recompose them -- e.g. into core::make_symmetric_aggregate_map.
+  std::shared_ptr<const core::SignalFunction> signal;
+  std::shared_ptr<const core::RateAdjustment> adjuster;
+};
+
+class ScenarioGrid {
+ public:
+  /// Throws ScenarioError on incomplete parameterization (see file header).
+  explicit ScenarioGrid(ScenarioSpec spec);
+
+  const ScenarioSpec& spec() const { return spec_; }
+  const exec::ParamGrid& grid() const { return grid_; }
+
+  /// Builds the concrete model + fault plan at one grid point.
+  ScenarioCase materialize(const exec::GridPoint& point) const;
+
+  /// Stable human-readable cell label: "protocol=rcp eta=0.5 ..." in axis
+  /// order (fixed dimensions omitted), empty for an axis-free scenario.
+  std::string cell_label(const exec::GridPoint& point) const;
+
+  /// The categorical token of dimension `dim` at `point` (fixed or swept).
+  std::string choice(std::string_view dim,
+                     const exec::GridPoint& point) const;
+
+  /// The numeric value of `key` at `point`: the axis value if swept, the
+  /// fixed [topology]/[params]/[faults] value otherwise. Throws
+  /// ScenarioError if the spec nowhere defines `key`.
+  double value(std::string_view key, const exec::GridPoint& point) const;
+
+ private:
+  ScenarioSpec spec_;
+  exec::ParamGrid grid_;
+};
+
+}  // namespace ffc::scenario

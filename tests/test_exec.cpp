@@ -438,6 +438,26 @@ TEST(SweepCli, MetricsOutRefusesFlagLikeOrMissingValue) {
   EXPECT_TRUE(exec::parse_sweep_cli(2, const_cast<char**>(argv2), 1).error);
 }
 
+// Regression (PR 9): the "--flag value" form refused a "--"-prefixed value,
+// but "--flag=value" happily accepted one -- "--seed=--jobs" parsed "--jobs"
+// with std::from_chars, failed, and at least errored by luck, while a future
+// string-valued flag would have silently swallowed it. Both forms must
+// refuse flag-like values symmetrically.
+TEST(SweepCli, EqualsFormRefusesFlagLikeValuesToo) {
+  const char* argv1[] = {"prog", "--seed=--jobs"};
+  EXPECT_TRUE(exec::parse_sweep_cli(2, const_cast<char**>(argv1), 1).error);
+
+  const char* argv2[] = {"prog", "--jobs=--seed"};
+  EXPECT_TRUE(exec::parse_sweep_cli(2, const_cast<char**>(argv2), 1).error);
+
+  // String-valued flag: without the check this one would succeed and write
+  // the manifest to a file literally named "--jobs".
+  const char* argv3[] = {"prog", "--metrics-out=--jobs"};
+  const auto cli = exec::parse_sweep_cli(2, const_cast<char**>(argv3), 1);
+  EXPECT_TRUE(cli.error);
+  EXPECT_TRUE(cli.metrics_out.empty());
+}
+
 TEST(SweepCli, UnknownArgumentsAreStillIgnored) {
   // Historical contract: unknown arguments warn and are skipped, so
   // experiment-specific flags can coexist with the sweep flags.

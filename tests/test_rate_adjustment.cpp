@@ -130,4 +130,116 @@ TEST(Theorem1Characterization, NonTsiFamiliesHaveRateDependentRoot) {
   EXPECT_LT(f(3.0, 0.5, 1.0), -1e-6);
 }
 
+// ---- PR 9: modern protocols -----------------------------------------------
+
+using ffc::core::AimdAdjustment;
+using ffc::core::RcpAdjustment;
+
+TEST(RcpAdjustmentTest, SteadySignalSolvesTheQuadratic) {
+  RcpAdjustment f(0.5, 1.0, 0.5, 0.6);
+  const double b = *f.steady_signal();
+  // b_ss is the root of alpha (beta - b)(1 - b) = kappa b in (0, beta).
+  EXPECT_NEAR(1.0 * (0.6 - b) * (1.0 - b), 0.5 * b, 1e-12);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 0.6);
+  EXPECT_TRUE(f.is_tsi());
+  // f vanishes exactly at b_ss, for every rate and delay (Theorem 1).
+  for (double r : {0.3, 1.0, 7.0}) {
+    for (double d : {0.1, 4.0}) {
+      EXPECT_NEAR(f(r, b, d), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(RcpAdjustmentTest, OneFormDropsTheQueueTerm) {
+  // kappa = 0 (arXiv:1906.06153): the controller reduces to multiplicative
+  // TSI with gain eta*alpha, and the steady signal sits exactly at beta.
+  RcpAdjustment one_form(0.5, 2.0, 0.0, 0.6);
+  MultiplicativeTsi mult(1.0, 0.6);
+  EXPECT_DOUBLE_EQ(*one_form.steady_signal(), 0.6);
+  for (double r : {0.2, 1.0, 3.0}) {
+    for (double b : {0.1, 0.6, 0.9}) {
+      EXPECT_NEAR(one_form(r, b, 1.0), mult(r, b, 1.0), 1e-12);
+    }
+  }
+}
+
+TEST(RcpAdjustmentTest, QueueTermPenalizesAboveSteadyState) {
+  RcpAdjustment two_form(0.5, 1.0, 2.0, 0.6);
+  RcpAdjustment one_form(0.5, 1.0, 0.0, 0.6);
+  // The queue drain makes the two-form strictly more negative at every
+  // signal level in (0, 1), and pushes b_ss strictly below beta.
+  for (double b : {0.2, 0.5, 0.8}) {
+    EXPECT_LT(two_form(1.0, b, 1.0), one_form(1.0, b, 1.0));
+  }
+  EXPECT_LT(*two_form.steady_signal(), 0.6);
+}
+
+TEST(RcpAdjustmentTest, SaturatedSignalEdgeCases) {
+  RcpAdjustment f(0.5, 1.0, 0.5, 0.6);
+  // b = 1 means an infinite steady queue: the queue term dominates and the
+  // adjustment is -inf for any positive rate...
+  EXPECT_TRUE(std::isinf(f(1.0, 1.0, 1.0)));
+  EXPECT_LT(f(1.0, 1.0, 1.0), 0.0);
+  // ...but a silent connection stays at zero instead of 0 * inf = NaN.
+  EXPECT_DOUBLE_EQ(f(0.0, 1.0, 1.0), 0.0);
+}
+
+TEST(RcpAdjustmentTest, GradientMatchesFiniteDifference) {
+  RcpAdjustment f(0.4, 1.3, 0.7, 0.55);
+  EXPECT_TRUE(f.differentiable());
+  const double h = 1e-6;
+  for (double r : {0.2, 1.5}) {
+    for (double b : {0.1, 0.5, 0.9}) {
+      const auto g = f.gradient(r, b, 1.0);
+      EXPECT_NEAR(g.d_rate, (f(r + h, b, 1.0) - f(r - h, b, 1.0)) / (2 * h),
+                  1e-5);
+      EXPECT_NEAR(g.d_signal, (f(r, b + h, 1.0) - f(r, b - h, 1.0)) / (2 * h),
+                  1e-4);
+      EXPECT_DOUBLE_EQ(g.d_delay, 0.0);
+    }
+  }
+}
+
+TEST(RcpAdjustmentTest, ParameterValidation) {
+  EXPECT_THROW(RcpAdjustment(0.0, 1.0, 0.5, 0.6), std::invalid_argument);
+  EXPECT_THROW(RcpAdjustment(0.5, 0.0, 0.5, 0.6), std::invalid_argument);
+  EXPECT_THROW(RcpAdjustment(0.5, 1.0, -0.1, 0.6), std::invalid_argument);
+  EXPECT_THROW(RcpAdjustment(0.5, 1.0, kInf, 0.6), std::invalid_argument);
+  EXPECT_THROW(RcpAdjustment(0.5, 1.0, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(AimdAdjustmentTest, AdditiveIncreaseMultiplicativeDecrease) {
+  AimdAdjustment f(0.01, 0.5, 0.6);
+  // Below threshold: constant additive probe, independent of rate.
+  EXPECT_DOUBLE_EQ(f(0.1, 0.0, 1.0), 0.01);
+  EXPECT_DOUBLE_EQ(f(5.0, 0.59, 1.0), 0.01);
+  // At/above threshold: multiplicative back-off proportional to rate.
+  EXPECT_DOUBLE_EQ(f(5.0, 0.6, 1.0), -2.5);
+  EXPECT_DOUBLE_EQ(f(0.1, 1.0, 1.0), -0.05);
+}
+
+TEST(AimdAdjustmentTest, NeverAtSteadyStateAndNotDifferentiable) {
+  // arXiv:0812.1321 §1: AIMD "is either increasing or decreasing at every
+  // point" -- f has no root anywhere, so it is not TSI and the spectral
+  // layer must fall back to finite differences.
+  AimdAdjustment f(0.01, 0.5, 0.6);
+  for (double r : {0.1, 1.0}) {
+    for (double b : {0.0, 0.3, 0.6, 0.99}) {
+      EXPECT_NE(f(r, b, 1.0), 0.0);
+    }
+  }
+  EXPECT_FALSE(f.is_tsi());
+  EXPECT_FALSE(f.steady_signal().has_value());
+  EXPECT_FALSE(f.differentiable());
+}
+
+TEST(AimdAdjustmentTest, ParameterValidation) {
+  EXPECT_THROW(AimdAdjustment(0.0, 0.5, 0.6), std::invalid_argument);
+  EXPECT_THROW(AimdAdjustment(0.01, 0.0, 0.6), std::invalid_argument);
+  EXPECT_THROW(AimdAdjustment(0.01, 1.5, 0.6), std::invalid_argument);
+  EXPECT_THROW(AimdAdjustment(0.01, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(AimdAdjustment(0.01, 0.5, 1.0), std::invalid_argument);
+}
+
 }  // namespace

@@ -83,6 +83,39 @@ TEST(BinarySignalTest, StepBehaviour) {
   EXPECT_THROW(ffc::core::BinarySignal(0.0), std::invalid_argument);
 }
 
+TEST(SmoothStepSignalTest, NormalizedSigmoidBoundaries) {
+  ffc::core::SmoothStepSignal b(4.0, 1.0);
+  EXPECT_DOUBLE_EQ(b(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b(kInf), 1.0);
+  // At the midpoint the raw sigmoid is exactly 1/2; the normalization that
+  // pins B(0) = 0 rescales it.
+  const double floor = 1.0 / (1.0 + std::exp(4.0));
+  EXPECT_NEAR(b(1.0), (0.5 - floor) / (1.0 - floor), 1e-12);
+  EXPECT_THROW(ffc::core::SmoothStepSignal(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ffc::core::SmoothStepSignal(4.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ffc::core::SmoothStepSignal(kInf, 1.0), std::invalid_argument);
+}
+
+TEST(SmoothStepSignalTest, DerivativeMatchesFiniteDifference) {
+  ffc::core::SmoothStepSignal b(3.0, 1.5);
+  const double h = 1e-6;
+  for (double c : {0.1, 1.0, 1.5, 2.5, 6.0}) {
+    EXPECT_NEAR(b.derivative(c), (b(c + h) - b(c - h)) / (2 * h), 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(b.derivative(kInf), 0.0);
+}
+
+TEST(SmoothStepSignalTest, SharpLimitApproachesBinarySignal) {
+  // The AIMD oscillation-onset sweep (E18) rides this limit: as sharpness
+  // grows the smooth step converges pointwise to the DECbit BinarySignal
+  // away from the threshold.
+  ffc::core::BinarySignal step(2.0);
+  ffc::core::SmoothStepSignal sharp(500.0, 2.0);
+  for (double c : {0.5, 1.5, 1.9, 2.1, 3.0, 10.0}) {
+    EXPECT_NEAR(sharp(c), step(c), 1e-12) << "c = " << c;
+  }
+}
+
 class SignalAxioms
     : public ::testing::TestWithParam<std::shared_ptr<const SignalFunction>> {
 };
@@ -92,7 +125,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_shared<RationalSignal>(),
                       std::make_shared<QuadraticSignal>(),
                       std::make_shared<ExponentialSignal>(0.7),
-                      std::make_shared<PowerSignal>(3.5)));
+                      std::make_shared<PowerSignal>(3.5),
+                      std::make_shared<ffc::core::SmoothStepSignal>(0.25,
+                                                                    1.0)));
 
 TEST_P(SignalAxioms, BoundaryConditions) {
   const SignalFunction& b = *GetParam();

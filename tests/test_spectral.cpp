@@ -150,6 +150,49 @@ TEST(AnalyticJacobianOperator, DelayCoupledWindowAdjuster) {
   expect_matches_fd(model, rates, kFdNoiseTol, "window limd");
 }
 
+TEST(AnalyticJacobianOperator, RcpAdjusterAgreesWithFd) {
+  // PR 9: RcpAdjustment's analytic gradient (rate-mismatch + queue-drain
+  // terms) must ride the existing JVP machinery unchanged.
+  auto model = ffc::core::FlowControlModel(
+      ffc::network::single_bottleneck(12, 1.0), th::fair_share(),
+      th::rational_signal(), FeedbackStyle::Individual,
+      std::make_shared<ffc::core::RcpAdjustment>(0.3, 1.0, 0.5, 0.6));
+  EXPECT_TRUE(AnalyticJacobianOperator::supported(model));
+  std::vector<double> rates(12);
+  for (std::size_t i = 0; i < 12; ++i) rates[i] = 0.02 + 0.003 * double(i);
+  expect_matches_fd(model, rates, kFdNoiseTol, "rcp");
+}
+
+TEST(AnalyticJacobianOperator, SmoothStepSignalAgreesWithFd) {
+  auto model = ffc::core::FlowControlModel(
+      ffc::network::single_bottleneck(12, 1.0), th::fifo(),
+      std::make_shared<ffc::core::SmoothStepSignal>(4.0, 1.0),
+      FeedbackStyle::Aggregate,
+      std::make_shared<ffc::core::AdditiveTsi>(0.1, 0.5));
+  EXPECT_TRUE(AnalyticJacobianOperator::supported(model));
+  std::vector<double> rates(12);
+  for (std::size_t i = 0; i < 12; ++i) rates[i] = 0.03 + 0.004 * double(i);
+  expect_matches_fd(model, rates, kFdNoiseTol, "smoothstep");
+}
+
+TEST(AnalyticJacobianOperator, AimdFallsBackToFiniteDifference) {
+  // AIMD's threshold branch has no gradient: supported() must refuse, and
+  // the iterative dispatcher must quietly take the FD operator instead.
+  auto model = ffc::core::FlowControlModel(
+      ffc::network::single_bottleneck(8, 1.0), th::fifo(),
+      th::rational_signal(), FeedbackStyle::Aggregate,
+      std::make_shared<ffc::core::AimdAdjustment>(0.01, 0.5, 0.6));
+  EXPECT_FALSE(AnalyticJacobianOperator::supported(model));
+
+  ffc::spectral::SpectralOptions opts;
+  opts.method = ffc::spectral::SpectralOptions::Method::Iterative;
+  const auto report = ffc::spectral::spectral_stability(
+      model, std::vector<double>(8, 0.05), opts);
+  ASSERT_TRUE(report.converged);
+  EXPECT_FALSE(report.analytic_jvp);
+  EXPECT_GT(report.model_evaluations, 1u);
+}
+
 TEST(AnalyticJacobianOperator, ZeroRateBoundaryIsFinite) {
   // A pinned-at-zero rate forces the FD oracle one-sided (a documented
   // contract exclusion), so only finiteness is asserted here.

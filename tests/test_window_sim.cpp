@@ -3,8 +3,11 @@
 
 #include <cmath>
 
+#include "exec/param_grid.hpp"
+#include "exec/sweep_runner.hpp"
 #include "network/builders.hpp"
 #include "network/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/window_sim.hpp"
 
 namespace {
@@ -140,6 +143,74 @@ TEST(WindowSim, DeterministicForSeed) {
   b.run_for(2000.0);
   EXPECT_EQ(a.delivered(0), b.delivered(0));
   EXPECT_DOUBLE_EQ(a.window(1), b.window(1));
+}
+
+// ---- PR 9: metric edge cases and sweep determinism ------------------------
+
+TEST(WindowSim, MetricsAreZeroBeforeAnyAckReturns) {
+  // Latency is charged on the ACK leg: with 50 time units each way no ACK
+  // returns before t = 100, so after 60 units packets have been delivered
+  // at the sink but every per-ACK statistic must still read 0 (not NaN
+  // from a 0/0) while the ACKs are in flight.
+  auto topo = ffc::network::single_bottleneck(1, 1.0, 50.0);
+  WindowNetworkSimulator ws(topo, SimDiscipline::Fifo, WindowOptions{}, 7);
+  EXPECT_DOUBLE_EQ(ws.mean_rtt(0), 0.0);
+  EXPECT_DOUBLE_EQ(ws.bit_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(ws.throughput(0), 0.0);
+  ws.run_for(60.0);
+  EXPECT_GT(ws.delivered(0), 0u);  // the initial window drained the queue
+  EXPECT_DOUBLE_EQ(ws.mean_rtt(0), 0.0);
+  EXPECT_DOUBLE_EQ(ws.bit_fraction(0), 0.0);
+  // ...and a metric reset mid-flight keeps them at 0 rather than negative.
+  ws.reset_metrics();
+  EXPECT_DOUBLE_EQ(ws.mean_rtt(0), 0.0);
+  EXPECT_DOUBLE_EQ(ws.bit_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(ws.throughput(0), 0.0);
+}
+
+TEST(WindowSim, PinnedWindowSurvivesMetricResets) {
+  auto topo = ffc::network::single_bottleneck(2, 1.0, 0.2);
+  WindowNetworkSimulator ws(topo, SimDiscipline::FairQueueing,
+                            WindowOptions{}, 11);
+  ws.pin_window(0, 8.0);
+  ws.run_for(2000.0);
+  EXPECT_DOUBLE_EQ(ws.window(0), 8.0);  // pinned: adaptation never moves it
+  ws.reset_metrics();
+  ws.run_for(2000.0);
+  EXPECT_DOUBLE_EQ(ws.window(0), 8.0);
+  EXPECT_NE(ws.window(1), WindowOptions{}.initial_window);  // peer adapts
+  // The reset only clears statistics; the pinned source keeps delivering.
+  EXPECT_GT(ws.throughput(0), 0.0);
+  EXPECT_GT(ws.bit_fraction(0), 0.0);
+}
+
+TEST(WindowSim, SweepIsBitwiseDeterministicAcrossJobs) {
+  // The E14-style fan-out contract: a sweep of window simulations must give
+  // bitwise-identical results at any --jobs (each task's simulator derives
+  // its own seed; nothing leaks across fan-out slots).
+  ffc::exec::ParamGrid grid;
+  grid.axis("latency", ffc::exec::ParamGrid::linspace(0.1, 0.5, 5));
+  const auto task = [](const ffc::exec::GridPoint& p, std::uint64_t seed,
+                       ffc::obs::MetricRegistry&) -> std::pair<double, double> {
+    auto topo = ffc::network::single_bottleneck(2, 1.0, p.get("latency"));
+    WindowNetworkSimulator ws(topo, SimDiscipline::FairQueueing,
+                              WindowOptions{}, seed);
+    ws.run_for(3000.0);
+    ws.reset_metrics();
+    ws.run_for(3000.0);
+    return {ws.window(0), ws.throughput(1)};
+  };
+  ffc::exec::SweepRunner serial(ffc::exec::SweepOptions{.jobs = 1,
+                                                        .base_seed = 14});
+  ffc::exec::SweepRunner parallel(ffc::exec::SweepOptions{.jobs = 4,
+                                                          .base_seed = 14});
+  const auto a = serial.run(grid, task);
+  const auto b = parallel.run(grid, task);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first) << "cell " << i;    // bitwise
+    EXPECT_EQ(a[i].second, b[i].second) << "cell " << i;  // bitwise
+  }
 }
 
 }  // namespace

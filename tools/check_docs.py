@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """check-docs: keep the documentation honest.
 
-Three independent gates, all run by the `check-docs` CMake target and the
+Four independent gates, all run by the `check-docs` CMake target and the
 `check_docs` ctest entry (see docs/CLAIMS.md):
 
   1. Link integrity. Every relative markdown link in README.md,
@@ -23,6 +23,13 @@ Three independent gates, all run by the `check-docs` CMake target and the
      artifacts are pure functions of the build (no timestamps), so any diff
      means someone edited a generated file by hand or forgot to regenerate
      after changing an experiment.
+
+  4. Scenario configs. Every committed scenarios/*.ini must be referenced
+     (linked) from at least one checked document -- a config nobody
+     documents is invisible, exactly like an orphaned docs page. With
+     --scenario-lint BIN given (BIN = the scenario_run example binary),
+     each config must additionally pass `BIN FILE --check`: strict parse,
+     grid completeness, canonical parse->dump round-trip.
 
 Exit code 0 iff every gate passes. No dependencies beyond the standard
 library.
@@ -128,6 +135,40 @@ def check_orphans(repo_root: pathlib.Path) -> list[str]:
     return errors
 
 
+def check_scenarios(repo_root: pathlib.Path,
+                    scenario_lint: str | None) -> list[str]:
+    """Gate 4: scenarios/*.ini are documented and (optionally) validate."""
+    scenarios = sorted((repo_root / "scenarios").glob("*.ini"))
+    if not scenarios:
+        return []
+    referenced: set[pathlib.Path] = set()
+    for doc in doc_files(repo_root):
+        referenced.update(relative_link_targets(doc))
+    errors = []
+    for config in scenarios:
+        if config.resolve() not in referenced:
+            rel = config.relative_to(repo_root)
+            errors.append(
+                f"{rel}: not referenced from any checked document (link it "
+                "from docs/PROTOCOLS.md or another reachable page)"
+            )
+    if scenario_lint:
+        for config in scenarios:
+            proc = subprocess.run(
+                [scenario_lint, str(config), "--check"],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                rel = config.relative_to(repo_root)
+                tail = "\n".join(proc.stderr.splitlines()[-5:])
+                errors.append(
+                    f"{rel}: `{scenario_lint} --check` exited "
+                    f"{proc.returncode}:\n{tail}"
+                )
+    return errors
+
+
 def check_staleness(repo_root: pathlib.Path, repro_binary: str,
                     jobs: int) -> list[str]:
     errors = []
@@ -177,6 +218,9 @@ def main() -> int:
                         help="path to ffc_repro; enables the staleness gate")
     parser.add_argument("--jobs", type=int, default=4,
                         help="--jobs to pass to ffc_repro (default 4)")
+    parser.add_argument("--scenario-lint", default=None,
+                        help="path to scenario_run; runs `--check` on every "
+                             "committed scenarios/*.ini")
     args = parser.parse_args()
 
     repo_root = pathlib.Path(args.repo_root).resolve()
@@ -186,6 +230,7 @@ def main() -> int:
         return 2
 
     errors = check_links(repo_root) + check_orphans(repo_root)
+    errors += check_scenarios(repo_root, args.scenario_lint)
     n_docs = len(doc_files(repo_root))
     if args.repro_binary:
         errors += check_staleness(repo_root, args.repro_binary, args.jobs)
@@ -195,8 +240,11 @@ def main() -> int:
         for err in errors:
             print(f"  {err}", file=sys.stderr)
         return 1
-    gates = "links + reachability" + (" + reproduction staleness"
-                                      if args.repro_binary else "")
+    gates = "links + reachability + scenarios"
+    if args.scenario_lint:
+        gates += " + scenario lint"
+    if args.repro_binary:
+        gates += " + reproduction staleness"
     print(f"check-docs: OK ({n_docs} documents, gates: {gates})")
     return 0
 

@@ -113,11 +113,68 @@ class CheckOrphansTest(unittest.TestCase):
             self.assertEqual(check_docs.check_orphans(root), [])
 
 
+class CheckScenariosTest(unittest.TestCase):
+    def test_no_scenarios_directory_is_fine(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {"README.md": "no scenarios here\n"})
+            self.assertEqual(check_docs.check_scenarios(root, None), [])
+
+    def test_linked_scenario_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[demo config](scenarios/demo.ini)\n",
+                "scenarios/demo.ini": "[scenario]\nname = demo\n",
+            })
+            self.assertEqual(check_docs.check_scenarios(root, None), [])
+
+    def test_unreferenced_scenario_is_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "nothing links the config\n",
+                "scenarios/lost.ini": "[scenario]\nname = lost\n",
+            })
+            errors = check_docs.check_scenarios(root, None)
+            self.assertEqual(len(errors), 1)
+            self.assertIn("scenarios/lost.ini", errors[0])
+            self.assertIn("not referenced", errors[0])
+
+    def test_lint_failure_is_reported_with_stderr_tail(self):
+        # A fake linter that always rejects: the gate must surface the exit
+        # code and the tool's diagnostic, per config.
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[demo](scenarios/demo.ini)\n",
+                "scenarios/demo.ini": "[scenario]\nname = demo\n",
+                "lint.sh": "#!/bin/sh\necho 'demo.ini:1: broken' >&2\nexit 1\n",
+            })
+            lint = root / "lint.sh"
+            lint.chmod(0o755)
+            errors = check_docs.check_scenarios(root, str(lint))
+            self.assertEqual(len(errors), 1)
+            self.assertIn("exited 1", errors[0])
+            self.assertIn("demo.ini:1: broken", errors[0])
+
+    def test_lint_success_keeps_gate_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[demo](scenarios/demo.ini)\n",
+                "scenarios/demo.ini": "[scenario]\nname = demo\n",
+                "lint.sh": "#!/bin/sh\nexit 0\n",
+            })
+            lint = root / "lint.sh"
+            lint.chmod(0o755)
+            self.assertEqual(check_docs.check_scenarios(root, str(lint)), [])
+
+
 class RepoSelfCheck(unittest.TestCase):
     def test_this_repository_passes_both_gates(self):
         root = pathlib.Path(__file__).resolve().parent.parent
         self.assertEqual(check_docs.check_links(root), [])
         self.assertEqual(check_docs.check_orphans(root), [])
+
+    def test_committed_scenarios_are_documented(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        self.assertEqual(check_docs.check_scenarios(root, None), [])
 
 
 if __name__ == "__main__":
