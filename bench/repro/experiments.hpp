@@ -39,6 +39,13 @@ struct ExperimentContext {
   exec::SweepOptions sweep;
   std::string metrics_out;  ///< standalone --metrics-out path; empty = none
   bool io_error = false;    ///< an artifact write failed; exit nonzero
+  /// Markdown the experiment wants appended after its REPRODUCTION.md claim
+  /// table (claims::ExperimentRecord::appendix). Must be deterministic --
+  /// the check-docs atlas gate byte-compares it against a fresh run. An
+  /// experiment that sets it also prints it to `out` (between the same
+  /// sentinel comments), so the standalone binary carries the identical
+  /// block the gate extracts.
+  std::string appendix;
 };
 
 /// One row of the experiment registry.
@@ -76,6 +83,7 @@ void run_e15(ExperimentContext& ctx);
 void run_e16(ExperimentContext& ctx);
 void run_e17(ExperimentContext& ctx);
 void run_e18(ExperimentContext& ctx);
+void run_e19(ExperimentContext& ctx);
 
 /// Standalone-binary entry point: looks up `id` in the registry, parses the
 /// sweep CLI when the experiment is sweep-enabled (preserving the historical

@@ -46,6 +46,8 @@ const std::vector<ExperimentInfo>& all_experiments() {
        2026, &run_e17},
       {"E18", "Modern protocols (RCP, AIMD) under declarative scenarios",
        true, 1810, &run_e18},
+      {"E19", "Adversarial chaos atlas (CEM + tree search)", true, 1414,
+       &run_e19},
   };
   return table;
 }
@@ -67,7 +69,7 @@ int experiment_main(const char* id, int argc, char** argv) {
     std::cerr << "unknown experiment id '" << id << "'\n";
     return EXIT_FAILURE;
   }
-  ExperimentContext ctx{std::cout, std::cerr, {}, {}, {}, false};
+  ExperimentContext ctx{std::cout, std::cerr, {}, {}, {}, false, {}};
   if (info->sweep_enabled) {
     const auto cli = exec::parse_sweep_cli(argc, argv, info->default_seed);
     if (cli.help) return EXIT_SUCCESS;
@@ -88,6 +90,7 @@ claims::ReproManifest run_reproduction(const ReproOptions& opts,
   struct TaskResult {
     claims::ClaimRegistry claims;
     std::string output;
+    std::string appendix;
     bool io_error = false;
   };
 
@@ -101,14 +104,15 @@ claims::ReproManifest run_reproduction(const ReproOptions& opts,
         const ExperimentInfo& info = experiments[p.index()];
         std::ostringstream out;
         std::ostringstream timing;  // discarded: wall-clock must not leak
-        ExperimentContext ctx{out, timing, {}, {}, {}, false};
+        ExperimentContext ctx{out, timing, {}, {}, {}, false, {}};
         // Inner sweeps run serially inside their fan-out slot; the outer
         // --jobs is the parallelism knob. Seeds stay on each experiment's
         // historical default unless the driver's --seed overrides them.
         ctx.sweep.jobs = 1;
         ctx.sweep.base_seed = opts.override_seeds ? seed : info.default_seed;
         info.run(ctx);
-        return TaskResult{std::move(ctx.claims), out.str(), ctx.io_error};
+        return TaskResult{std::move(ctx.claims), out.str(),
+                          std::move(ctx.appendix), ctx.io_error};
       });
   runner.last_report().print(err);
 
@@ -130,6 +134,7 @@ claims::ReproManifest run_reproduction(const ReproOptions& opts,
                         : info.default_seed;
     }
     record.claims = std::move(results[i].claims);
+    record.appendix = std::move(results[i].appendix);
     manifest.experiments.push_back(std::move(record));
   }
   return manifest;

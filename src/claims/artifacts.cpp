@@ -173,6 +173,11 @@ void write_reproduction_markdown(const ReproManifest& manifest,
       if (!check.context.empty()) any_context = true;
     }
     if (any_context) os << "\n";
+    if (!exp.appendix.empty()) {
+      os << exp.appendix;
+      if (exp.appendix.back() != '\n') os << "\n";
+      os << "\n";
+    }
   }
 }
 

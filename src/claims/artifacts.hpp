@@ -32,6 +32,12 @@ struct ExperimentRecord {
   std::string title;  ///< one line, e.g. "Fault-impaired fairness"
   std::optional<std::uint64_t> seed;
   ClaimRegistry claims;
+  /// Optional markdown emitted verbatim after the experiment's claim table
+  /// (E19's stability-region atlas lands here). Must be deterministic:
+  /// REPRODUCTION.md stays a pure function of the manifest, which the
+  /// check-docs staleness and atlas gates byte-compare against a fresh
+  /// regeneration. Not mirrored into claims.json (schema unchanged).
+  std::string appendix;
 };
 
 /// Everything the artifact writers need: provenance, environment, and the

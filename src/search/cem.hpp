@@ -1,0 +1,139 @@
+// Derandomized adversarial search: seeded random restarts feeding a
+// cross-entropy-method (CEM) loop.
+//
+// The optimizer maintains a sampling distribution over the SearchSpace --
+// an independent Gaussian per continuous axis, a categorical per discrete
+// axis -- and repeats: sample a population, evaluate every candidate,
+// keep the elite fraction, refit the distribution to the elites. Seeded
+// restarts re-enter the loop from fresh starting distributions so one
+// deceptive basin cannot capture the whole budget.
+//
+// Determinism contract (docs/SEARCH.md "Seed derivation", pinned by
+// tests/test_search.cpp):
+//
+//   * All sampling happens on the driver thread from RNG streams that are
+//     pure functions of (master seed, restart, generation). Only fitness
+//     evaluations fan out, through exec::SweepRunner, which hands
+//     candidate j of a generation the seed derive_task_seed(gen_seed, j)
+//     and collects results in candidate order. A search run is therefore
+//     byte-identical at any --jobs value.
+//   * Elite selection sorts by (fitness DESC, within-generation index
+//     ASC); the incumbent best is replaced only by a STRICTLY greater
+//     fitness, so ties resolve to the earliest evaluation. NaN fitness is
+//     logged and counted but never becomes an elite or the best.
+//
+// Observability: pass a registry to collect the `search.*` counters
+// (evaluations, generations, restarts, nan_fitness) and the elite-fitness
+// high-water gauge (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/sweep_runner.hpp"
+#include "search/fitness.hpp"
+#include "search/space.hpp"
+
+namespace ffc::search {
+
+/// Knobs of one cross-entropy hunt.
+struct SearchOptions {
+  std::size_t population = 24;   ///< candidates per generation (>= 2)
+  std::size_t elite = 6;         ///< elites refitting the distribution (>= 1, < population)
+  std::size_t generations = 8;   ///< CEM iterations per restart (>= 1)
+  std::size_t restarts = 2;      ///< independent starting distributions (>= 1)
+  /// Initial Gaussian sigma, as a fraction of each continuous axis span.
+  double initial_sigma = 0.25;
+  /// Sigma never shrinks below this fraction of the axis span -- the
+  /// distribution keeps probing even after it concentrates.
+  double sigma_floor = 1e-3;
+  /// Distribution update smoothing: new = (1-s)*old + s*refit. 1 = replace.
+  double smoothing = 1.0;
+  /// Discrete-axis probabilities never drop below this (renormalized), so
+  /// no choice is ever permanently ruled out by an early generation.
+  double probability_floor = 0.02;
+  /// Evaluation fan-out (jobs) and the master search seed (base_seed).
+  exec::SweepOptions exec;
+};
+
+/// One scored candidate, in evaluation order. The full log is the search's
+/// reproducibility artifact: brackets, byte-identity checks, and atlas
+/// tables are all derived from it.
+struct Evaluation {
+  std::size_t index = 0;       ///< global evaluation index (eval order)
+  std::size_t restart = 0;
+  std::size_t generation = 0;  ///< generation within the restart
+  std::vector<double> candidate;
+  std::uint64_t seed = 0;      ///< the seed the fitness oracle received
+  double fitness = 0.0;        ///< NaN = candidate could not be scored
+};
+
+/// Per-generation elite summary (one entry per generation per restart).
+struct GenerationStat {
+  std::size_t restart = 0;
+  std::size_t generation = 0;
+  std::size_t finite = 0;      ///< candidates with finite fitness
+  double elite_best = 0.0;     ///< NaN if no finite candidate
+  double elite_mean = 0.0;     ///< NaN if no finite candidate
+};
+
+/// Everything a hunt produced.
+struct SearchResult {
+  std::vector<double> best;    ///< empty iff no finite evaluation
+  double best_fitness = 0.0;   ///< NaN iff no finite evaluation
+  std::size_t best_index = 0;  ///< SIZE_MAX iff no finite evaluation
+  std::vector<Evaluation> evaluations;     ///< complete log, eval order
+  std::vector<GenerationStat> generations; ///< per-generation summaries
+  std::size_t nan_evaluations = 0;
+
+  bool found() const;
+
+  /// Canonical text dump of the evaluation log (one line per evaluation,
+  /// shortest round-trip number formatting). Two runs of the same hunt are
+  /// byte-identical iff their logs are -- the form the determinism tests
+  /// and the E19 determinism claim compare.
+  std::string log() const;
+
+  /// Boundary bracket along axis `axis`: the tightest [lo, hi] with lo the
+  /// largest axis coordinate among evaluations where `above(fitness... )`
+  /// -- see cpp -- is false and hi the smallest where it is true, using
+  /// `predicate(evaluation)` as the above/below classifier. Returns false
+  /// if either side has no sample. NaN-fitness evaluations are skipped.
+  template <typename Pred>
+  bool bracket(std::size_t axis, Pred&& predicate, double& lo,
+               double& hi) const;
+};
+
+/// Runs the seeded-restart CEM loop, maximizing `fn` over `space`.
+/// Validates options (throws std::invalid_argument on population < 2,
+/// elite not in [1, population), generations or restarts == 0, non-finite
+/// or out-of-range sigma/smoothing/floor) and never mutates the space.
+/// With `metrics` non-null, records the search.* counters there.
+SearchResult cross_entropy_search(const SearchSpace& space,
+                                  const FitnessFn& fn,
+                                  const SearchOptions& options,
+                                  obs::MetricRegistry* metrics = nullptr);
+
+// ---- template implementation ----------------------------------------------
+
+template <typename Pred>
+bool SearchResult::bracket(std::size_t axis, Pred&& predicate, double& lo,
+                           double& hi) const {
+  bool has_lo = false, has_hi = false;
+  for (const Evaluation& e : evaluations) {
+    if (!(e.fitness == e.fitness)) continue;  // NaN: unscored, no side
+    const double x = e.candidate.at(axis);
+    if (predicate(e)) {
+      if (!has_hi || x < hi) hi = x;
+      has_hi = true;
+    } else {
+      if (!has_lo || x > lo) lo = x;
+      has_lo = true;
+    }
+  }
+  return has_lo && has_hi;
+}
+
+}  // namespace ffc::search

@@ -1,0 +1,52 @@
+#include "search/fitness.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace ffc::search {
+
+std::string_view fitness_kind_name(FitnessKind kind) {
+  switch (kind) {
+    case FitnessKind::SpectralRadius:
+      return "spectral_radius";
+    case FitnessKind::SlowestConvergence:
+      return "slowest_convergence";
+    case FitnessKind::EarliestOnset:
+      return "earliest_onset";
+    case FitnessKind::MaxUnfairness:
+      return "max_unfairness";
+  }
+  return "?";
+}
+
+FitnessKind fitness_kind_from_name(std::string_view name) {
+  if (name == "spectral_radius") return FitnessKind::SpectralRadius;
+  if (name == "slowest_convergence") return FitnessKind::SlowestConvergence;
+  if (name == "earliest_onset") return FitnessKind::EarliestOnset;
+  if (name == "max_unfairness") return FitnessKind::MaxUnfairness;
+  throw std::invalid_argument("unknown fitness functional '" +
+                              std::string(name) +
+                              "' (catalog: docs/SEARCH.md)");
+}
+
+double onset_fitness(bool unstable, double axis_value, double proximity) {
+  if (!std::isfinite(axis_value) || !std::isfinite(proximity)) {
+    return std::nan("");
+  }
+  if (std::fabs(axis_value) >= kOnsetBase / 2) {
+    throw std::invalid_argument(
+        "onset_fitness: |axis_value| must stay below kOnsetBase/2");
+  }
+  if (unstable) return kOnsetBase - axis_value;
+  // Stable candidates rank by proximity to the boundary but stay strictly
+  // below every unstable score (kOnsetBase - axis > kOnsetBase/2).
+  return std::fmin(proximity, kOnsetBase / 4);
+}
+
+double slowest_convergence_fitness(double spectral_radius) {
+  if (std::isnan(spectral_radius)) return spectral_radius;
+  return spectral_radius < 1.0 ? spectral_radius : -spectral_radius;
+}
+
+}  // namespace ffc::search

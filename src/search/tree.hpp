@@ -1,0 +1,55 @@
+// MCTS-style tree refinement over the discrete axes of a SearchSpace.
+//
+// The CEM loop treats discrete axes as independent categoricals, which is
+// blind to interactions between discrete choices (e.g. a staleness level
+// that only hurts under a particular discipline). The tree optimizer
+// complements it: the discrete axes, in declaration order, form the
+// levels of a fixed-depth tree whose leaves are complete discrete
+// assignments; each round walks the tree by UCB1 (mean reward normalized
+// to the running [min, max] fitness, exploration bonus
+// c*sqrt(ln(parent+1)/child), unvisited children first in value order,
+// ties toward the lower index), then scores the selected leaf with a
+// batch of rollouts -- continuous axes drawn around a caller-provided
+// center (typically the CEM incumbent) or uniformly when none is given.
+//
+// Determinism mirrors cem.hpp: all sampling on the driver thread from
+// streams derived via derive_task_seed(master, round); rollout
+// evaluations fan out through exec::SweepRunner, so a refinement run is
+// byte-identical at any --jobs. NaN rollouts back-propagate the worst
+// normalized reward and never become the incumbent (docs/SEARCH.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/sweep_runner.hpp"
+#include "search/cem.hpp"
+
+namespace ffc::search {
+
+/// Knobs of one tree refinement.
+struct TreeOptions {
+  std::size_t rounds = 32;     ///< selection + rollout-batch iterations
+  std::size_t rollouts = 4;    ///< evaluations per selected leaf per round
+  double exploration = 1.4142135623730951;  ///< UCB1 exploration constant
+  /// Gaussian sigma for continuous rollouts around the center, as a
+  /// fraction of each axis span (ignored without a center: uniform draws).
+  double rollout_sigma = 0.05;
+  /// Evaluation fan-out (jobs) and the master refinement seed (base_seed).
+  exec::SweepOptions exec;
+};
+
+/// Runs the refinement, maximizing `fn` over `space`. Requires at least
+/// one discrete axis (throws std::invalid_argument otherwise -- with no
+/// discrete axes there is no tree to search; use cross_entropy_search).
+/// `center`, when non-null, must be an in-domain candidate whose
+/// continuous coordinates seed the rollout Gaussians. The result's
+/// `generations` summaries carry one entry per round (restart = 0,
+/// generation = round). With `metrics` non-null, records the search.*
+/// counters plus `search.tree_rounds`.
+SearchResult tree_search(const SearchSpace& space, const FitnessFn& fn,
+                         const TreeOptions& options,
+                         const std::vector<double>* center = nullptr,
+                         obs::MetricRegistry* metrics = nullptr);
+
+}  // namespace ffc::search

@@ -293,7 +293,7 @@ TEST(Artifacts, WritersAreDeterministic) {
 // ---------- the full reproduction run ---------------------------------------
 
 TEST(Reproduction, ClaimsJsonIsByteIdenticalAcrossJobs) {
-  // The determinism contract of the tentpole: fanning the 20 experiments
+  // The determinism contract of the tentpole: fanning the 21 experiments
   // across 4 threads must not change a byte of either artifact.
   std::ostringstream err;
   ffc::repro::ReproOptions one;
@@ -313,7 +313,7 @@ TEST(Reproduction, ClaimsJsonIsByteIdenticalAcrossJobs) {
 
   // And the run itself reproduces the paper.
   EXPECT_TRUE(m1.all_passed());
-  EXPECT_EQ(m1.experiments.size(), 20u);
+  EXPECT_EQ(m1.experiments.size(), 21u);
 }
 
 }  // namespace

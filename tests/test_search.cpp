@@ -1,0 +1,425 @@
+// Pins the adversarial-search contracts documented in docs/SEARCH.md:
+// domain projection (clamp/snap semantics), the CEM determinism and
+// elite-selection rules, NaN quarantine, the tree refinement's
+// preconditions and byte-identity, the hunt-spec grammar's canonical
+// fixed point and file:line diagnostics, and -- as a regression anchor for
+// E19 -- that a small onset hunt brackets the analytic chaos threshold
+// eta* = sqrt(2) without being told the answer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ffc.hpp"
+#include "network/builders.hpp"
+#include "obs/metrics.hpp"
+#include "queueing/fifo.hpp"
+#include "search/cem.hpp"
+#include "search/fitness.hpp"
+#include "search/hunt_spec.hpp"
+#include "search/space.hpp"
+#include "search/tree.hpp"
+#include "spectral/stability.hpp"
+
+namespace {
+
+using namespace ffc;
+using search::Evaluation;
+using search::SearchOptions;
+using search::SearchResult;
+using search::SearchSpace;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// A cheap smooth landscape with its optimum strictly inside the domain.
+double bowl(const std::vector<double>& c) {
+  double f = 0.0;
+  for (double x : c) f -= (x - 0.3) * (x - 0.3);
+  return f;
+}
+
+SearchSpace unit_square() {
+  SearchSpace space;
+  space.continuous("x", 0.0, 1.0).continuous("y", 0.0, 1.0);
+  return space;
+}
+
+// ---- SearchSpace -----------------------------------------------------------
+
+TEST(SearchSpace, ClampProjectsContinuousAndSnapsDiscrete) {
+  SearchSpace space;
+  space.continuous("x", -1.0, 1.0).discrete("d", {0.0, 2.0, 10.0});
+
+  std::vector<double> c = {4.0, 5.9};
+  space.clamp(c);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);   // clamped to hi
+  EXPECT_DOUBLE_EQ(c[1], 2.0);   // 5.9 nearer 2 than 10
+  EXPECT_TRUE(space.contains(c));
+
+  // Equidistant between 0 and 2: the tie breaks toward the LOWER index.
+  c = {0.0, 1.0};
+  space.clamp(c);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+
+  std::vector<double> nan = {kNaN, 0.0};
+  EXPECT_THROW(space.clamp(nan), std::invalid_argument);
+  std::vector<double> short_vec = {0.0};
+  EXPECT_THROW(space.clamp(short_vec), std::invalid_argument);
+}
+
+TEST(SearchSpace, RejectsMalformedAxes) {
+  SearchSpace space;
+  space.continuous("x", 0.0, 1.0);
+  EXPECT_THROW(space.continuous("x", 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(space.continuous("bad", 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(space.discrete("d", {}), std::invalid_argument);
+  EXPECT_THROW(space.discrete("d2", {0.0, kNaN}), std::invalid_argument);
+  EXPECT_EQ(space.axis_index("x"), 0u);
+  EXPECT_THROW(space.axis_index("absent"), std::out_of_range);
+}
+
+// ---- cross_entropy_search --------------------------------------------------
+
+TEST(CrossEntropySearch, ByteIdenticalAtAnyJobs) {
+  const SearchSpace space = unit_square();
+  // The oracle mixes the per-candidate seed into the score, so any seeding
+  // difference between fan-outs would change the log, not just timing.
+  const search::FitnessFn fn = [](const std::vector<double>& c,
+                                  std::uint64_t seed,
+                                  obs::MetricRegistry&) {
+    return bowl(c) + 1e-12 * static_cast<double>(seed % 1000);
+  };
+  SearchOptions options;
+  options.population = 8;
+  options.elite = 2;
+  options.generations = 4;
+  options.restarts = 2;
+  options.exec.base_seed = 7;
+
+  options.exec.jobs = 1;
+  const SearchResult serial = search::cross_entropy_search(space, fn, options);
+  options.exec.jobs = 4;
+  const SearchResult fanned = search::cross_entropy_search(space, fn, options);
+
+  ASSERT_TRUE(serial.found());
+  EXPECT_EQ(serial.log(), fanned.log());
+  EXPECT_EQ(serial.best, fanned.best);
+  EXPECT_EQ(serial.best_index, fanned.best_index);
+}
+
+TEST(CrossEntropySearch, TiesResolveToTheEarliestEvaluation) {
+  // Constant fitness: every candidate ties, so the incumbent must stay the
+  // very first evaluation (strictly-greater replacement rule).
+  const search::FitnessFn fn = [](const std::vector<double>&, std::uint64_t,
+                                  obs::MetricRegistry&) { return 1.0; };
+  SearchOptions options;
+  options.population = 6;
+  options.elite = 2;
+  options.generations = 3;
+  options.restarts = 2;
+  options.exec.base_seed = 11;
+
+  const SearchResult result =
+      search::cross_entropy_search(unit_square(), fn, options);
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.best_index, 0u);
+  EXPECT_EQ(result.best, result.evaluations[0].candidate);
+}
+
+TEST(CrossEntropySearch, NanIsLoggedButNeverEliteOrBest) {
+  // Score only the x > 0.5 half-plane; everything else is unscorable. The
+  // best must come from the scored half, and every NaN must be counted.
+  const search::FitnessFn fn = [](const std::vector<double>& c,
+                                  std::uint64_t, obs::MetricRegistry&) {
+    return c[0] > 0.5 ? c[0] : kNaN;
+  };
+  SearchOptions options;
+  options.population = 10;
+  options.elite = 3;
+  options.generations = 5;
+  options.restarts = 1;
+  options.exec.base_seed = 3;
+
+  obs::MetricRegistry metrics;
+  const SearchResult result =
+      search::cross_entropy_search(unit_square(), fn, options, &metrics);
+  ASSERT_TRUE(result.found());
+  EXPECT_GT(result.best[0], 0.5);
+  EXPECT_FALSE(std::isnan(result.best_fitness));
+  std::size_t nan_seen = 0;
+  for (const Evaluation& e : result.evaluations) {
+    if (std::isnan(e.fitness)) ++nan_seen;
+  }
+  EXPECT_EQ(result.nan_evaluations, nan_seen);
+  EXPECT_EQ(metrics.counter("search.nan_fitness"), nan_seen);
+}
+
+TEST(CrossEntropySearch, AllNanRunCompletesWithoutABest) {
+  const search::FitnessFn fn = [](const std::vector<double>&, std::uint64_t,
+                                  obs::MetricRegistry&) { return kNaN; };
+  SearchOptions options;
+  options.population = 4;
+  options.elite = 1;
+  options.generations = 3;
+  options.restarts = 2;
+  options.exec.base_seed = 5;
+
+  obs::MetricRegistry metrics;
+  const SearchResult result =
+      search::cross_entropy_search(unit_square(), fn, options, &metrics);
+  EXPECT_FALSE(result.found());
+  EXPECT_TRUE(result.best.empty());
+  EXPECT_TRUE(std::isnan(result.best_fitness));
+  // The full budget still runs and is fully logged: an unscorable
+  // generation must not stall or shrink the sweep.
+  EXPECT_EQ(result.evaluations.size(),
+            options.population * options.generations * options.restarts);
+  EXPECT_EQ(result.nan_evaluations, result.evaluations.size());
+  EXPECT_EQ(metrics.counter("search.evaluations"),
+            result.evaluations.size());
+}
+
+TEST(CrossEntropySearch, ValidatesOptions) {
+  const search::FitnessFn fn = [](const std::vector<double>&, std::uint64_t,
+                                  obs::MetricRegistry&) { return 0.0; };
+  SearchOptions bad;
+  bad.population = 1;  // < 2
+  EXPECT_THROW(search::cross_entropy_search(unit_square(), fn, bad),
+               std::invalid_argument);
+  bad = SearchOptions{};
+  bad.elite = bad.population;  // elite must stay < population
+  EXPECT_THROW(search::cross_entropy_search(unit_square(), fn, bad),
+               std::invalid_argument);
+  bad = SearchOptions{};
+  bad.generations = 0;
+  EXPECT_THROW(search::cross_entropy_search(unit_square(), fn, bad),
+               std::invalid_argument);
+}
+
+// ---- SearchResult::bracket -------------------------------------------------
+
+TEST(SearchResult, BracketIsTightestAndSkipsNan) {
+  SearchResult result;
+  auto eval = [](double x, double fitness) {
+    Evaluation e;
+    e.candidate = {x};
+    e.fitness = fitness;
+    return e;
+  };
+  // "Above" = fitness > 0. Below-side samples at 0.2 and 0.4; above-side
+  // at 0.9 and 0.6; a NaN at 0.5 sits between and must not tighten either.
+  result.evaluations = {eval(0.2, -1.0), eval(0.9, 1.0), eval(0.4, -1.0),
+                        eval(0.5, kNaN), eval(0.6, 1.0)};
+  double lo = 0.0, hi = 0.0;
+  ASSERT_TRUE(result.bracket(
+      0, [](const Evaluation& e) { return e.fitness > 0.0; }, lo, hi));
+  EXPECT_DOUBLE_EQ(lo, 0.4);
+  EXPECT_DOUBLE_EQ(hi, 0.6);
+
+  // One-sided logs have no bracket.
+  result.evaluations = {eval(0.2, -1.0), eval(0.4, -1.0)};
+  EXPECT_FALSE(result.bracket(
+      0, [](const Evaluation& e) { return e.fitness > 0.0; }, lo, hi));
+}
+
+// ---- tree_search -----------------------------------------------------------
+
+TEST(TreeSearch, RequiresADiscreteAxisAndAnInDomainCenter) {
+  const search::FitnessFn fn = [](const std::vector<double>& c, std::uint64_t,
+                                  obs::MetricRegistry&) { return bowl(c); };
+  search::TreeOptions options;
+  options.rounds = 2;
+  options.rollouts = 2;
+  EXPECT_THROW(search::tree_search(unit_square(), fn, options),
+               std::invalid_argument);
+
+  SearchSpace space;
+  space.continuous("x", 0.0, 1.0).discrete("d", {0.0, 1.0});
+  const std::vector<double> bad_center = {0.5};  // wrong arity
+  EXPECT_THROW(search::tree_search(space, fn, options, &bad_center),
+               std::invalid_argument);
+  const std::vector<double> off_domain = {0.5, 0.25};  // d not a choice
+  EXPECT_THROW(search::tree_search(space, fn, options, &off_domain),
+               std::invalid_argument);
+}
+
+TEST(TreeSearch, ByteIdenticalAtAnyJobsAndFindsTheGoodLeaf) {
+  SearchSpace space;
+  space.continuous("x", 0.0, 1.0)
+      .discrete("a", {0.0, 1.0, 2.0})
+      .discrete("b", {0.0, 1.0});
+  // Only the (a=1, b=1) leaf pays out, and more for x near the center --
+  // an interaction the per-axis CEM categoricals cannot represent.
+  const search::FitnessFn fn = [](const std::vector<double>& c, std::uint64_t,
+                                  obs::MetricRegistry&) {
+    if (c[1] != 1.0 || c[2] != 1.0) return -1.0;
+    return 1.0 - (c[0] - 0.5) * (c[0] - 0.5);
+  };
+  search::TreeOptions options;
+  options.rounds = 12;
+  options.rollouts = 3;
+  options.exec.base_seed = 21;
+  const std::vector<double> center = {0.5, 0.0, 0.0};
+
+  obs::MetricRegistry metrics;
+  options.exec.jobs = 1;
+  const SearchResult serial =
+      search::tree_search(space, fn, options, &center, &metrics);
+  options.exec.jobs = 4;
+  const SearchResult fanned =
+      search::tree_search(space, fn, options, &center);
+
+  ASSERT_TRUE(serial.found());
+  EXPECT_EQ(serial.log(), fanned.log());
+  EXPECT_DOUBLE_EQ(serial.best[1], 1.0);
+  EXPECT_DOUBLE_EQ(serial.best[2], 1.0);
+  EXPECT_EQ(metrics.counter("search.tree_rounds"), options.rounds);
+  EXPECT_EQ(metrics.counter("search.evaluations"),
+            options.rounds * options.rollouts);
+}
+
+// ---- hunt specs ------------------------------------------------------------
+
+constexpr const char* kMinimalSpec = R"(
+[hunt]
+name = tiny
+fitness = spectral_radius
+
+[oracle]
+connections = 8
+beta = 0.5
+
+[continuous]
+eta = 0.5, 1.5
+)";
+
+TEST(HuntSpec, ParseDumpIsAFixedPoint) {
+  const search::HuntSpec spec = search::parse_hunt(kMinimalSpec, "tiny.ini");
+  EXPECT_EQ(spec.name, "tiny");
+  EXPECT_EQ(spec.connections, 8u);
+  const std::string canonical = spec.dump();
+  const search::HuntSpec again = search::parse_hunt(canonical, "dump");
+  EXPECT_EQ(again.dump(), canonical);
+
+  const SearchSpace space = spec.to_space();
+  EXPECT_EQ(space.num_axes(), 1u);
+  EXPECT_EQ(space.axis_index("eta"), 0u);
+  const SearchOptions options = spec.to_options(3);
+  EXPECT_EQ(options.exec.jobs, 3u);
+  EXPECT_EQ(options.exec.base_seed, spec.seed);
+}
+
+TEST(HuntSpec, DiagnosticsCarryFileAndLine) {
+  // Line 3 holds the unknown key; the diagnostic must say so.
+  const std::string bad = "[hunt]\nname = x\nbogus_key = 1\n";
+  try {
+    search::parse_hunt(bad, "bad.ini");
+    FAIL() << "expected HuntError";
+  } catch (const search::HuntError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.ini:3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(HuntSpec, CrossKeyValidation) {
+  // onset fitness without its axis declared.
+  EXPECT_THROW(search::parse_hunt("[hunt]\nname = x\nfitness = "
+                                  "earliest_onset\nonset_axis = eta\n"
+                                  "[oracle]\nconnections = 4\nbeta = 0.5\n"
+                                  "[continuous]\ngain = 0, 1\n",
+                                  "x.ini"),
+               search::HuntError);
+  // tree_iterations with no discrete axis to branch over.
+  EXPECT_THROW(search::parse_hunt("[hunt]\nname = x\nfitness = "
+                                  "spectral_radius\ntree_iterations = 4\n"
+                                  "[oracle]\nconnections = 4\nbeta = 0.5\n"
+                                  "[continuous]\neta = 0, 1\n",
+                                  "x.ini"),
+               search::HuntError);
+  // discrete values must be strictly increasing.
+  EXPECT_THROW(search::parse_hunt("[hunt]\nname = x\nfitness = "
+                                  "spectral_radius\n"
+                                  "[oracle]\nconnections = 4\nbeta = 0.5\n"
+                                  "[discrete]\nd = 1, 1\n",
+                                  "x.ini"),
+               search::HuntError);
+}
+
+// ---- fitness catalog -------------------------------------------------------
+
+TEST(Fitness, OnsetRankComposition) {
+  // Every unstable candidate outranks every stable one; among unstable,
+  // the smaller axis coordinate wins; among stable, proximity pulls the
+  // distribution toward the boundary but is capped below all unstable.
+  const double u_low = search::onset_fitness(true, 1.2, 0.0);
+  const double u_high = search::onset_fitness(true, 1.8, 0.0);
+  const double s_near = search::onset_fitness(false, 1.0, 0.99);
+  const double s_far = search::onset_fitness(false, 1.0, 0.10);
+  EXPECT_GT(u_low, u_high);
+  EXPECT_GT(u_high, s_near);
+  EXPECT_GT(s_near, s_far);
+  EXPECT_EQ(search::fitness_kind_from_name("earliest_onset"),
+            search::FitnessKind::EarliestOnset);
+  EXPECT_THROW(search::fitness_kind_from_name("no_such_functional"),
+               std::invalid_argument);
+}
+
+// ---- the E19 regression anchor ---------------------------------------------
+
+TEST(OnsetHunt, BracketsSqrtTwoOnTheSmallS2Family) {
+  // A miniature of E19's hunt: N = 16 through the dense spectral path,
+  // beta = 0.5, so the analytic onset is eta* = 1/sqrt(beta) = sqrt(2).
+  // The hunt is never told the answer; its evaluation log must still
+  // bracket it. Pinned so a CEM or spectral regression cannot silently
+  // move the chaos threshold.
+  const std::size_t n = 16;
+  const double beta = 0.5;
+  SearchSpace space;
+  space.continuous("eta", 1.0, 2.0);
+  const search::FitnessFn fn = [=](const std::vector<double>& c,
+                                   std::uint64_t, obs::MetricRegistry&) {
+    core::FlowControlModel model(
+        network::single_bottleneck(n, double(n)),
+        std::make_shared<queueing::Fifo>(),
+        std::make_shared<core::QuadraticSignal>(),
+        core::FeedbackStyle::Aggregate,
+        std::make_shared<core::AdditiveTsi>(c[0], beta));
+    core::FixedPointOptions fp;
+    fp.damping = 0.5;
+    const auto fixed =
+        core::solve_fixed_point(model, core::fair_steady_state(model), fp);
+    if (!fixed.converged) return kNaN;
+    const auto report =
+        spectral::spectral_stability(model, fixed.rates, {});
+    if (!report.converged) return kNaN;
+    const bool unstable = report.spectral_radius > 1.0 + 1e-6;
+    return search::onset_fitness(unstable, c[0], c[0]);
+  };
+  SearchOptions options;
+  options.population = 10;
+  options.elite = 3;
+  options.generations = 6;
+  options.restarts = 1;
+  options.exec.base_seed = 1414;
+
+  const SearchResult result =
+      search::cross_entropy_search(space, fn, options);
+  ASSERT_TRUE(result.found());
+  double lo = 0.0, hi = 0.0;
+  ASSERT_TRUE(result.bracket(
+      0,
+      [](const Evaluation& e) {
+        return e.fitness >= search::kOnsetBase / 2;
+      },
+      lo, hi));
+  const double sqrt2 = std::sqrt(2.0);
+  EXPECT_LE(lo, sqrt2);
+  EXPECT_GE(hi, sqrt2);
+  EXPECT_LT(hi - lo, 0.1);  // a 60-evaluation hunt already beats 10% of span
+}
+
+}  // namespace

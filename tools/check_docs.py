@@ -26,10 +26,24 @@ Four independent gates, all run by the `check-docs` CMake target and the
 
   4. Scenario configs. Every committed scenarios/*.ini must be referenced
      (linked) from at least one checked document -- a config nobody
-     documents is invisible, exactly like an orphaned docs page. With
-     --scenario-lint BIN given (BIN = the scenario_run example binary),
-     each config must additionally pass `BIN FILE --check`: strict parse,
-     grid completeness, canonical parse->dump round-trip.
+     documents is invisible, exactly like an orphaned docs page. Each
+     config must additionally pass `BIN FILE --check` with BIN chosen by
+     the config's leading section header: files opening with `[hunt]` go
+     to the --hunt-lint binary (the chaos_hunt example), everything else
+     to the --scenario-lint binary (the scenario_run example). Either
+     check is strict parse + completeness + canonical parse->dump
+     round-trip; a config whose dialect has no linter on the command line
+     is only checked for documentation links.
+
+  5. Staleness of the committed chaos atlas. With --atlas-binary given
+     (BIN = the exp_e19_chaos_atlas experiment binary), the atlas table
+     committed inside REPRODUCTION.md -- the block between the
+     `<!-- atlas:begin -->` and `<!-- atlas:end -->` sentinels -- must be
+     byte-identical to the block a fresh run of BIN prints to stdout.
+     The experiment's output is --jobs-invariant, so any diff means the
+     search code or its committed hunt spec changed without regenerating
+     REPRODUCTION.md. (Gate 3 also catches this via the full report;
+     this gate isolates the atlas with a targeted, much cheaper run.)
 
 Exit code 0 iff every gate passes. No dependencies beyond the standard
 library.
@@ -135,8 +149,26 @@ def check_orphans(repo_root: pathlib.Path) -> list[str]:
     return errors
 
 
+def leading_section(config: pathlib.Path) -> str:
+    """First `[section]` header in an ini file ('' if none).
+
+    This is the dialect dispatch key for gate 4: `[hunt]` configs are
+    search specs (docs/SEARCH.md), anything else is a scenario grid
+    (docs/PROTOCOLS.md).
+    """
+    for line in config.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith((";", "#")):
+            continue
+        if stripped.startswith("[") and stripped.endswith("]"):
+            return stripped[1:-1].strip()
+        return ""
+    return ""
+
+
 def check_scenarios(repo_root: pathlib.Path,
-                    scenario_lint: str | None) -> list[str]:
+                    scenario_lint: str | None,
+                    hunt_lint: str | None = None) -> list[str]:
     """Gate 4: scenarios/*.ini are documented and (optionally) validate."""
     scenarios = sorted((repo_root / "scenarios").glob("*.ini"))
     if not scenarios:
@@ -152,21 +184,82 @@ def check_scenarios(repo_root: pathlib.Path,
                 f"{rel}: not referenced from any checked document (link it "
                 "from docs/PROTOCOLS.md or another reachable page)"
             )
-    if scenario_lint:
-        for config in scenarios:
-            proc = subprocess.run(
-                [scenario_lint, str(config), "--check"],
-                capture_output=True,
-                text=True,
+    for config in scenarios:
+        lint = hunt_lint if leading_section(config) == "hunt" \
+            else scenario_lint
+        if not lint:
+            continue
+        proc = subprocess.run(
+            [lint, str(config), "--check"],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            rel = config.relative_to(repo_root)
+            tail = "\n".join(proc.stderr.splitlines()[-5:])
+            errors.append(
+                f"{rel}: `{lint} --check` exited "
+                f"{proc.returncode}:\n{tail}"
             )
-            if proc.returncode != 0:
-                rel = config.relative_to(repo_root)
-                tail = "\n".join(proc.stderr.splitlines()[-5:])
-                errors.append(
-                    f"{rel}: `{scenario_lint} --check` exited "
-                    f"{proc.returncode}:\n{tail}"
-                )
     return errors
+
+
+ATLAS_BEGIN = "<!-- atlas:begin -->"
+ATLAS_END = "<!-- atlas:end -->"
+
+
+def extract_atlas_block(text: str) -> str | None:
+    """The sentinel-delimited atlas block, sentinels included.
+
+    Returns None when either sentinel is missing (or out of order), so
+    callers can distinguish "no atlas" from "empty atlas".
+    """
+    begin = text.find(ATLAS_BEGIN)
+    if begin < 0:
+        return None
+    end = text.find(ATLAS_END, begin)
+    if end < 0:
+        return None
+    return text[begin:end + len(ATLAS_END)]
+
+
+def check_atlas(repo_root: pathlib.Path, atlas_binary: str) -> list[str]:
+    """Gate 5: the committed E19 atlas equals a fresh regeneration."""
+    committed_path = repo_root / "REPRODUCTION.md"
+    if not committed_path.is_file():
+        return ["REPRODUCTION.md: missing at the repo root; cannot check "
+                "the committed atlas"]
+    committed = extract_atlas_block(
+        committed_path.read_text(encoding="utf-8"))
+    if committed is None:
+        return [f"REPRODUCTION.md: no `{ATLAS_BEGIN}` .. `{ATLAS_END}` "
+                "block -- regenerate with ffc_repro (E19 emits it)"]
+    proc = subprocess.run([atlas_binary], capture_output=True, text=True)
+    if proc.returncode != 0:
+        return [
+            f"{atlas_binary} exited {proc.returncode}; cannot check the "
+            "atlas. stderr tail:\n"
+            + "\n".join(proc.stderr.splitlines()[-10:])
+        ]
+    fresh = extract_atlas_block(proc.stdout)
+    if fresh is None:
+        return [f"{atlas_binary}: stdout carries no atlas sentinel block "
+                "-- the experiment and this gate disagree on the markers"]
+    if committed != fresh:
+        diff = list(
+            difflib.unified_diff(
+                committed.splitlines(), fresh.splitlines(),
+                fromfile="committed/REPRODUCTION.md(atlas)",
+                tofile="regenerated/atlas", lineterm="", n=1,
+            )
+        )
+        head = "\n".join(diff[:20])
+        return [
+            "REPRODUCTION.md: committed atlas block differs from a fresh "
+            f"exp_e19 run ({len(diff)} diff lines). Regenerate with: "
+            f"ffc_repro --output-dir . First lines:\n{head}"
+        ]
+    return []
 
 
 def check_staleness(repo_root: pathlib.Path, repro_binary: str,
@@ -220,7 +313,13 @@ def main() -> int:
                         help="--jobs to pass to ffc_repro (default 4)")
     parser.add_argument("--scenario-lint", default=None,
                         help="path to scenario_run; runs `--check` on every "
-                             "committed scenarios/*.ini")
+                             "committed scenarios/*.ini that is not a hunt")
+    parser.add_argument("--hunt-lint", default=None,
+                        help="path to chaos_hunt; runs `--check` on every "
+                             "committed scenarios/*.ini opening with [hunt]")
+    parser.add_argument("--atlas-binary", default=None,
+                        help="path to exp_e19_chaos_atlas; enables the "
+                             "atlas-staleness gate")
     args = parser.parse_args()
 
     repo_root = pathlib.Path(args.repo_root).resolve()
@@ -230,8 +329,10 @@ def main() -> int:
         return 2
 
     errors = check_links(repo_root) + check_orphans(repo_root)
-    errors += check_scenarios(repo_root, args.scenario_lint)
+    errors += check_scenarios(repo_root, args.scenario_lint, args.hunt_lint)
     n_docs = len(doc_files(repo_root))
+    if args.atlas_binary:
+        errors += check_atlas(repo_root, args.atlas_binary)
     if args.repro_binary:
         errors += check_staleness(repo_root, args.repro_binary, args.jobs)
 
@@ -243,6 +344,10 @@ def main() -> int:
     gates = "links + reachability + scenarios"
     if args.scenario_lint:
         gates += " + scenario lint"
+    if args.hunt_lint:
+        gates += " + hunt lint"
+    if args.atlas_binary:
+        gates += " + atlas staleness"
     if args.repro_binary:
         gates += " + reproduction staleness"
     print(f"check-docs: OK ({n_docs} documents, gates: {gates})")

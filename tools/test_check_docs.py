@@ -165,6 +165,136 @@ class CheckScenariosTest(unittest.TestCase):
             lint.chmod(0o755)
             self.assertEqual(check_docs.check_scenarios(root, str(lint)), [])
 
+    def test_hunt_config_dispatches_to_hunt_lint(self):
+        # A [hunt]-headed config must be linted by the hunt linter and
+        # never reach the scenario linter (whose grammar would reject it).
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[h](scenarios/h.ini) [s](scenarios/s.ini)\n",
+                "scenarios/h.ini": "; a search spec\n[hunt]\nname = h\n",
+                "scenarios/s.ini": "[scenario]\nname = s\n",
+                "scen_lint.sh":
+                    "#!/bin/sh\ncase \"$1\" in *h.ini)"
+                    " echo 'hunt leaked to scenario linter' >&2; exit 1;;"
+                    " esac\nexit 0\n",
+                "hunt_lint.sh":
+                    "#!/bin/sh\ncase \"$1\" in *s.ini)"
+                    " echo 'scenario leaked to hunt linter' >&2; exit 1;;"
+                    " esac\nexit 0\n",
+            })
+            scen = root / "scen_lint.sh"
+            hunt = root / "hunt_lint.sh"
+            scen.chmod(0o755)
+            hunt.chmod(0o755)
+            self.assertEqual(
+                check_docs.check_scenarios(root, str(scen), str(hunt)), [])
+
+    def test_hunt_config_without_hunt_lint_skips_lint(self):
+        # No hunt linter on the command line: the [hunt] config is only
+        # checked for documentation links, not fed to the scenario linter.
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[h](scenarios/h.ini)\n",
+                "scenarios/h.ini": "[hunt]\nname = h\n",
+                "lint.sh": "#!/bin/sh\necho 'wrong dialect' >&2\nexit 1\n",
+            })
+            lint = root / "lint.sh"
+            lint.chmod(0o755)
+            self.assertEqual(
+                check_docs.check_scenarios(root, str(lint), None), [])
+
+    def test_hunt_lint_failure_is_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "README.md": "[h](scenarios/h.ini)\n",
+                "scenarios/h.ini": "[hunt]\nname = h\n",
+                "hunt_lint.sh":
+                    "#!/bin/sh\necho 'h.ini:2: bad hunt' >&2\nexit 3\n",
+            })
+            hunt = root / "hunt_lint.sh"
+            hunt.chmod(0o755)
+            errors = check_docs.check_scenarios(root, None, str(hunt))
+            self.assertEqual(len(errors), 1)
+            self.assertIn("exited 3", errors[0])
+            self.assertIn("h.ini:2: bad hunt", errors[0])
+
+
+class LeadingSectionTest(unittest.TestCase):
+    def test_comments_and_blanks_are_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "a.ini": "; comment\n# also comment\n\n[hunt]\nx = 1\n",
+            })
+            self.assertEqual(check_docs.leading_section(root / "a.ini"),
+                             "hunt")
+
+    def test_non_section_first_line_yields_empty(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {"a.ini": "key = value\n[hunt]\n"})
+            self.assertEqual(check_docs.leading_section(root / "a.ini"), "")
+
+
+class CheckAtlasTest(unittest.TestCase):
+    ATLAS = ("<!-- atlas:begin -->\n| a | b |\n|---|---|\n| 1 | 2 |\n"
+             "<!-- atlas:end -->")
+
+    def fake_binary(self, root: pathlib.Path, stdout: str,
+                    exit_code: int = 0) -> str:
+        path = root / "exp_e19.sh"
+        path.write_text(
+            f"#!/bin/sh\ncat <<'EOF'\n{stdout}\nEOF\nexit {exit_code}\n",
+            encoding="utf-8")
+        path.chmod(0o755)
+        return str(path)
+
+    def test_matching_atlas_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "REPRODUCTION.md": f"# report\n\n{self.ATLAS}\n\ntail\n",
+            })
+            binary = self.fake_binary(root, f"preamble\n{self.ATLAS}\nrest")
+            self.assertEqual(check_docs.check_atlas(root, binary), [])
+
+    def test_stale_atlas_is_reported_with_diff(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "REPRODUCTION.md": f"{self.ATLAS}\n",
+            })
+            fresh = self.ATLAS.replace("| 1 | 2 |", "| 1 | 3 |")
+            binary = self.fake_binary(root, fresh)
+            errors = check_docs.check_atlas(root, binary)
+            self.assertEqual(len(errors), 1)
+            self.assertIn("differs", errors[0])
+            self.assertIn("| 1 | 3 |", errors[0])
+
+    def test_missing_committed_block_is_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {"REPRODUCTION.md": "no atlas here\n"})
+            binary = self.fake_binary(root, self.ATLAS)
+            errors = check_docs.check_atlas(root, binary)
+            self.assertEqual(len(errors), 1)
+            self.assertIn("no `<!-- atlas:begin -->`", errors[0])
+
+    def test_binary_failure_is_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "REPRODUCTION.md": f"{self.ATLAS}\n",
+            })
+            binary = self.fake_binary(root, "partial", exit_code=7)
+            errors = check_docs.check_atlas(root, binary)
+            self.assertEqual(len(errors), 1)
+            self.assertIn("exited 7", errors[0])
+
+    def test_binary_without_sentinels_is_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = make_repo(tmp, {
+                "REPRODUCTION.md": f"{self.ATLAS}\n",
+            })
+            binary = self.fake_binary(root, "claims only, no atlas")
+            errors = check_docs.check_atlas(root, binary)
+            self.assertEqual(len(errors), 1)
+            self.assertIn("no atlas sentinel block", errors[0])
+
 
 class RepoSelfCheck(unittest.TestCase):
     def test_this_repository_passes_both_gates(self):
